@@ -1,0 +1,65 @@
+"""Ablation — trace-driven cache analysis of the flux kernel.
+
+The paper's data-structure argument: "Detailed cache analysis indicate that
+this [AoS node data] results in a 20% better reuse across L1 and L2
+caches."  This bench replays the actual flux-kernel access trace through
+set-associative LRU models of the platform's L1/L2 and reports misses per
+edge (i.e. DRAM/L2 traffic) for every layout x ordering combination — the
+measured counterpart of the cost model's ``dram_bytes_per_edge``.
+"""
+
+import pytest
+
+from repro.ordering import rcm_relabel
+from repro.perf import format_table
+from repro.smp.cache import simulate_edge_loop
+
+from conftest import emit
+
+L1 = 32 * 1024
+L2 = 256 * 1024
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_ablation_cache_reuse(benchmark, mesh_c, capsys):
+    rcm = rcm_relabel(mesh_c)
+
+    def compute():
+        out = {}
+        for order, mesh in (("natural", mesh_c), ("rcm", rcm)):
+            for layout in ("soa", "aos"):
+                s1 = simulate_edge_loop(mesh.edges, mesh.n_vertices, layout, L1)
+                s2 = simulate_edge_loop(mesh.edges, mesh.n_vertices, layout, L2)
+                out[(order, layout)] = (
+                    s1.misses / mesh.n_edges,
+                    s2.misses / mesh.n_edges,
+                )
+        return out
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [order, layout, f"{m1:.2f}", f"{m2:.2f}", f"{64 * m2:.0f} B"]
+        for (order, layout), (m1, m2) in out.items()
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["ordering", "layout", "L1 misses/edge", "L2 misses/edge",
+             "DRAM traffic/edge"],
+            rows,
+            title="Ablation: simulated cache behaviour of the flux kernel "
+            "(paper: AoS gives ~20% better L1/L2 reuse)",
+        ),
+    )
+
+    # AoS slashes the miss traffic at the first level where vertex data
+    # does not fit (L1 on our laptop-scale meshes; L2 at paper scale)
+    for order in ("natural", "rcm"):
+        assert out[(order, "aos")][0] < 0.5 * out[(order, "soa")][0]
+        assert out[(order, "aos")][1] <= out[(order, "soa")][1] + 1e-12
+    # RCM reduces AoS L1 misses (SoA is fully L1-capacity-bound either way)
+    assert out[("rcm", "aos")][0] <= out[("natural", "aos")][0]
+    # the measured DRAM bytes/edge of the optimized configuration is in the
+    # same regime as the cost model's 60 B/edge constant
+    dram_opt = 64 * out[("rcm", "aos")][1]
+    assert 10 < dram_opt < 200

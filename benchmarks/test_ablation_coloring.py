@@ -1,0 +1,62 @@
+"""Ablation — edge coloring vs domain-decomposed threading.
+
+The paper rejects coloring for the edge loops because "coloring-based
+partitioning of an unstructured mesh results in sub-optimal spatial
+locality among the concurrently processed edges".  This ablation builds a
+real greedy edge coloring of the mesh, executes it (numerics verified
+elsewhere), and compares its modeled time against owner-writes replication:
+conflict-freedom is paid for with scattered gathers and one barrier per
+color.
+"""
+
+import pytest
+
+from repro.perf import format_table
+from repro.smp import (
+    XEON_E5_2690_V2,
+    EdgeLoopExecutor,
+    edge_loop_time,
+    flux_kernel_work,
+    make_edge_loop_options,
+    metis_thread_labels,
+)
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="ablation-coloring")
+def test_ablation_coloring_vs_replication(benchmark, mesh_c, capsys):
+    mach = XEON_E5_2690_V2
+    work = flux_kernel_work(mesh_c.n_edges)
+    t = 20
+
+    def compute():
+        ex_c = EdgeLoopExecutor(mesh_c.edges, mesh_c.n_vertices, t, "coloring")
+        ex_m = EdgeLoopExecutor(
+            mesh_c.edges, mesh_c.n_vertices, t, "replicate",
+            metis_thread_labels(mesh_c.edges, mesh_c.n_vertices, t, seed=1))
+        tc = edge_loop_time(mach, work, make_edge_loop_options(ex_c))
+        tm = edge_loop_time(mach, work, make_edge_loop_options(ex_m))
+        return ex_c.n_colors, tc, tm, ex_m.replication()
+
+    n_colors, tc, tm, repl = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        capsys,
+        format_table(
+            ["strategy", "modeled time", "notes"],
+            [
+                ["coloring", f"{1e3 * tc:.3f} ms",
+                 f"{n_colors} colors, conflict-free, scattered access"],
+                ["replication (METIS)", f"{1e3 * tm:.3f} ms",
+                 f"+{100 * repl:.0f}% redundant compute, streaming access"],
+            ],
+            title="Ablation: edge coloring vs METIS replication at 20 threads "
+            "(paper rejects coloring for locality loss)",
+        ),
+    )
+
+    # the paper's call: replication with good partitions beats coloring
+    assert tm < tc
+    # a tet mesh needs at least max-degree colors
+    assert n_colors >= 14

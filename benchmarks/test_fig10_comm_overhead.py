@@ -1,0 +1,56 @@
+"""Figure 10 — communication overheads in the strong-scaling runs.
+
+Paper: Mesh-D becomes communication bound at 256 nodes (communication ~70%
+of total execution time); >90% of the communication overhead is
+MPI_Allreduce from the Krylov solver; point-to-point messages contribute
+less than 5%.
+"""
+
+import pytest
+
+from repro.dist import MESH_D_PAPER, MultiNodeModel, NodeConfig
+from repro.perf import format_series
+
+from conftest import emit
+
+NODES = [1, 4, 16, 64, 128, 256]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_communication_overheads(benchmark, capsys):
+    mm = MultiNodeModel(MESH_D_PAPER, config=NodeConfig(optimized=False))
+
+    def compute():
+        return [mm.step_breakdown(n) for n in NODES]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        capsys,
+        format_series(
+            "nodes",
+            NODES,
+            {
+                "total (s)": [f"{r['total']:.1f}" for r in rows],
+                "comm share": [f"{100 * r['comm_fraction']:.0f}%" for r in rows],
+                "allreduce share of comm": [
+                    f"{100 * r['allreduce'] / r['comm']:.0f}%" if r["comm"] else "-"
+                    for r in rows
+                ],
+                "p2p share of comm": [
+                    f"{100 * r['halo'] / r['comm']:.0f}%" if r["comm"] else "-"
+                    for r in rows
+                ],
+            },
+            title="Fig 10: communication overhead vs nodes "
+            "(paper: ~70% comm at 256 nodes, >90% of it Allreduce, p2p <5%)",
+        ),
+    )
+
+    last = rows[-1]
+    assert last["comm_fraction"] > 0.5  # paper: ~0.7
+    assert last["allreduce"] / last["comm"] > 0.9
+    assert last["halo"] / last["comm"] < 0.1
+    # communication fraction is monotone in node count
+    fracs = [r["comm_fraction"] for r in rows]
+    assert all(a <= b + 1e-12 for a, b in zip(fracs, fracs[1:]))

@@ -1,0 +1,70 @@
+"""Figure 11 — Baseline vs Optimized (MPI-only) vs Hybrid (MPI+OpenMP).
+
+Paper: Hybrid = 2 ranks/node x 8 threads with all shared-memory
+optimizations; it beats Baseline by 10-23% but stays below the MPI-only
+Optimized version because PETSc's native vector/communication primitives
+are not threaded (the hybrid Amdahl fraction); MPI-only instead pays ~30%
+more Krylov iterations at 256 nodes from convergence degradation.
+"""
+
+import pytest
+
+from repro.dist import MESH_D_PAPER, MultiNodeModel, NodeConfig
+from repro.perf import format_series
+
+from conftest import emit
+
+NODES = [1, 4, 16, 64, 256]
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_hybrid_comparison(benchmark, capsys):
+    base = MultiNodeModel(MESH_D_PAPER, config=NodeConfig(optimized=False))
+    opt = MultiNodeModel(MESH_D_PAPER, config=NodeConfig(optimized=True))
+    hyb = MultiNodeModel(
+        MESH_D_PAPER,
+        config=NodeConfig(
+            optimized=True,
+            ranks_per_node=2,
+            threads_per_rank=8,
+            threaded_kernels=True,
+        ),
+    )
+
+    def compute():
+        return (
+            [base.total_time(n) for n in NODES],
+            [opt.total_time(n) for n in NODES],
+            [hyb.total_time(n) for n in NODES],
+        )
+
+    tb, to, th = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit(
+        capsys,
+        format_series(
+            "nodes",
+            NODES,
+            {
+                "baseline (s)": [f"{t:.1f}" for t in tb],
+                "optimized (s)": [f"{t:.1f}" for t in to],
+                "hybrid (s)": [f"{t:.1f}" for t in th],
+                "hybrid vs base": [
+                    f"{100 * (b / h - 1):+.0f}%" for b, h in zip(tb, th)
+                ],
+            },
+            title="Fig 11: Baseline / Optimized / Hybrid to 256 nodes "
+            "(paper: hybrid +10..23% over baseline, below MPI-only optimized)",
+        ),
+    )
+
+    # hybrid beats baseline from moderate scale on (paper: at all scales;
+    # our model's NUMA/fork-join efficiency puts the small-node gain near 0)
+    for n, b, h in zip(NODES, tb, th):
+        if n >= 16:
+            assert h < b
+    # optimized MPI-only is the fastest approach over most of the range
+    wins = sum(o <= h for o, h in zip(to, th))
+    assert wins >= len(NODES) - 1
+    # the MPI-only runs pay more Krylov iterations than hybrid at scale
+    assert opt.iterations(opt.n_ranks(256)) > hyb.iterations(hyb.n_ranks(256))

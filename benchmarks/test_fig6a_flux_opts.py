@@ -1,0 +1,91 @@
+"""Figure 6a — flux kernel: speed-ups from the cumulative optimizations.
+
+Paper: threading (RCM + METIS owner-writes, 20 threads) then, cumulatively,
+AoS node data (+40%), SIMD across edges with scalar write-out (+40%), and
+software prefetch (+15%), reaching 20.6x over the sequential base.
+"""
+
+import pytest
+
+from repro.perf import format_table
+from repro.smp import (
+    XEON_E5_2690_V2,
+    EdgeLoopExecutor,
+    EdgeLoopOptions,
+    edge_loop_time,
+    flux_kernel_work,
+    metis_thread_labels,
+)
+
+from conftest import emit
+
+N_THREADS = 20
+
+
+def _cumulative_times(mesh):
+    mach = XEON_E5_2690_V2
+    work = flux_kernel_work(mesh.n_edges)
+    base = edge_loop_time(mach, work, EdgeLoopOptions(n_threads=1))
+    labels = metis_thread_labels(mesh.edges, mesh.n_vertices, N_THREADS, seed=1)
+    ex = EdgeLoopExecutor(
+        mesh.edges, mesh.n_vertices, N_THREADS, "replicate", labels
+    )
+    ept = ex.edges_per_thread()
+
+    def t(layout, simd, pf):
+        return edge_loop_time(
+            mach,
+            work,
+            EdgeLoopOptions(
+                n_threads=N_THREADS,
+                strategy="replicate",
+                layout=layout,
+                simd=simd,
+                prefetch=pf,
+                rcm=True,
+                edges_per_thread=ept,
+            ),
+        )
+
+    return {
+        "base (sequential)": base,
+        "+threading (RCM+METIS)": t("soa", False, False),
+        "+data structures (AoS)": t("aos", False, False),
+        "+SIMD": t("aos", True, False),
+        "+prefetch": t("aos", True, True),
+    }
+
+
+@pytest.mark.benchmark(group="fig6a")
+def test_fig6a_flux_cumulative_optimizations(benchmark, mesh_c, capsys):
+    times = benchmark.pedantic(
+        lambda: _cumulative_times(mesh_c), rounds=1, iterations=1
+    )
+    names = list(times)
+    base = times[names[0]]
+    rows = []
+    prev = base
+    for name in names:
+        cur = times[name]
+        rows.append(
+            [name, f"{1e3 * cur:.3f} ms", f"{base / cur:.1f}x", f"{prev / cur:.2f}x"]
+        )
+        prev = cur
+    emit(
+        capsys,
+        format_table(
+            ["configuration", "modeled time", "vs base", "step gain"],
+            rows,
+            title="Fig 6a: flux kernel cumulative optimizations "
+            "(paper: AoS +40%, SIMD +40%, prefetch +15%, total 20.6x)",
+        ),
+    )
+
+    t_thr = times["+threading (RCM+METIS)"]
+    t_aos = times["+data structures (AoS)"]
+    t_simd = times["+SIMD"]
+    t_pf = times["+prefetch"]
+    assert t_thr / t_aos == pytest.approx(1.4, rel=0.15)
+    assert t_aos / t_simd == pytest.approx(1.4, rel=0.15)
+    assert t_simd / t_pf == pytest.approx(1.15, rel=0.10)
+    assert 15.0 < base / t_pf < 30.0  # paper: 20.6x

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compressible Euler solve over the wing (the 5x5-block path).
+
+FUN3D solves both regimes; the paper works in the incompressible one
+because it "poses the greatest challenge for high performance" and notes
+that compressibility adds flops without changing the algorithm.  This
+example runs the compressible path (conservative variables, ideal gas) at
+several Mach numbers and shows that the same block solver stack — BCSR,
+ILU, level-scheduled TRSV, additive Schwarz, JFNK GMRES — runs unchanged
+at block size 5.
+
+Run:  python examples/compressible_wing.py
+"""
+
+import numpy as np
+
+from repro.cfd import FlowField
+from repro.cfd.compressible import (
+    GAMMA,
+    CompressibleConfig,
+    solve_compressible_steady,
+)
+from repro.mesh import wing_mesh
+from repro.perf import format_table
+
+
+def main() -> None:
+    mesh = wing_mesh(n_around=20, n_radial=6, n_span=5)
+    fld = FlowField(mesh)
+    print(f"{mesh.name}: {mesh.n_vertices} vertices, {mesh.n_edges} edges, "
+          f"5 unknowns/vertex\n")
+
+    rows = []
+    for mach in (0.3, 0.5, 0.7):
+        cfg = CompressibleConfig(mach=mach, aoa_deg=3.0)
+        res = solve_compressible_steady(fld, cfg, max_steps=80)
+        q = res.q
+        p = (GAMMA - 1) * (
+            q[:, 4] - 0.5 * np.einsum("ni,ni->n", q[:, 1:4], q[:, 1:4]) / q[:, 0]
+        )
+        rows.append([
+            f"{mach:.1f}",
+            "yes" if res.converged else "no",
+            res.steps,
+            res.linear_iterations,
+            f"{q[:, 0].max():.4f}",
+            f"{p.max() * GAMMA:.4f}",  # normalized by freestream p
+        ])
+    print(format_table(
+        ["Mach", "converged", "steps", "Krylov iters",
+         "max density", "max p/p_inf"],
+        rows,
+        title="compressible steady solves (ideal gas, AoA 3 deg)",
+    ))
+    print("\ncompression at the leading edge grows with Mach number, as it"
+          "\nshould; the solver stack is identical to the incompressible"
+          "\npath, just on 5x5 blocks.")
+
+
+if __name__ == "__main__":
+    main()

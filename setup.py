@@ -1,0 +1,9 @@
+"""Setup shim so ``pip install -e . --no-use-pep517`` works offline.
+
+The PEP 660 editable path needs the ``wheel`` package at build time; this
+legacy path only needs setuptools.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""PyFUN3D — reproduction of "Exploring Shared-memory Optimizations for an
+Unstructured Mesh CFD Application on Modern Parallel Systems" (IPDPS 2015).
+
+A from-scratch Python implementation of the PETSc-FUN3D incompressible Euler
+solver (vertex-centered unstructured meshes, pseudo-transient
+Newton-Krylov-Schwarz with block-ILU preconditioned GMRES) together with the
+paper's entire optimization study: edge-loop threading strategies, data
+layout / SIMD / prefetch models, level-scheduled and P2P-sparsified sparse
+triangular kernels, a calibrated shared-memory machine model, and a
+multi-node strong-scaling model of TACC Stampede.
+
+Quick start::
+
+    from repro import Fun3dApp, OptimizationConfig, mesh_c_prime
+
+    app = Fun3dApp(mesh_c_prime(scale=0.12))
+    result = app.run(OptimizationConfig.baseline())
+    print(result.solve.converged, result.fractions())
+    print(app.speedup(result.counts, OptimizationConfig.optimized()))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .apps import Fun3dApp, Fun3dRunResult, OptimizationConfig
+from .cfd import FlowConfig, FlowField
+from .dist import (
+    MESH_C_PAPER,
+    MESH_D_PAPER,
+    DomainDecomposition,
+    MultiNodeModel,
+    NodeConfig,
+)
+from .mesh import (
+    UnstructuredMesh,
+    box_mesh,
+    load_mesh,
+    mesh_c_prime,
+    mesh_d_prime,
+    save_mesh,
+    validate_mesh,
+    wing_mesh,
+)
+from .smp import XEON_E5_2690_V2, MachineModel
+from .solver import SolveResult, SolverOptions, solve_steady
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Fun3dApp",
+    "Fun3dRunResult",
+    "OptimizationConfig",
+    "FlowConfig",
+    "FlowField",
+    "MESH_C_PAPER",
+    "MESH_D_PAPER",
+    "DomainDecomposition",
+    "MultiNodeModel",
+    "NodeConfig",
+    "UnstructuredMesh",
+    "box_mesh",
+    "load_mesh",
+    "mesh_c_prime",
+    "mesh_d_prime",
+    "save_mesh",
+    "validate_mesh",
+    "wing_mesh",
+    "XEON_E5_2690_V2",
+    "MachineModel",
+    "SolveResult",
+    "SolverOptions",
+    "solve_steady",
+    "__version__",
+]

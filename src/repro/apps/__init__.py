@@ -1,0 +1,6 @@
+"""Full-application driver and optimization configurations."""
+
+from .config import OptimizationConfig
+from .fun3d import Fun3dApp, Fun3dRunResult
+
+__all__ = ["OptimizationConfig", "Fun3dApp", "Fun3dRunResult"]

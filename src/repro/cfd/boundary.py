@@ -1,0 +1,67 @@
+"""Boundary-condition fluxes: slip wall / symmetry and characteristic far field.
+
+Vertex-centered boundary closure: every boundary triangle contributes a third
+of its area vector to each of its vertices' control-volume surfaces
+(``FlowField.*_vnormals``), and the boundary flux is evaluated with the
+vertex state:
+
+* **slip wall / symmetry** — no mass crosses the face (``Theta = 0``), so
+  the flux reduces to the pressure term ``(0, S p, ...)``.
+* **far field** — an upwind (Rusanov) flux between the interior state and
+  the freestream, which lets outgoing waves exit and imposes incoming data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .flux import rusanov_edge_flux
+from .state import FlowField
+
+__all__ = ["wall_flux", "wall_residual", "farfield_residual"]
+
+
+def wall_flux(q: np.ndarray, normals: np.ndarray) -> np.ndarray:
+    """Slip-wall flux: pressure force only (``Theta = 0`` on the face)."""
+    out = np.zeros_like(q)
+    out[..., 1:4] = normals * q[..., 0:1]
+    return out
+
+
+def wall_residual(
+    field: FlowField, q: np.ndarray, which: str = "wall"
+) -> np.ndarray:
+    """Accumulate slip-wall (or symmetry) fluxes into the residual."""
+    faces = field.wall_faces if which == "wall" else field.sym_faces
+    vnormals = field.wall_vnormals if which == "wall" else field.sym_vnormals
+    res = np.zeros_like(q)
+    if faces.shape[0] == 0:
+        return res
+    for c in range(3):
+        verts = faces[:, c]
+        res_c = wall_flux(q[verts], vnormals)
+        np.add.at(res, verts, res_c)
+    return res
+
+
+def farfield_residual(
+    field: FlowField,
+    q: np.ndarray,
+    q_inf: np.ndarray,
+    beta: float,
+    scheme: str = "rusanov",
+) -> np.ndarray:
+    """Upwind far-field fluxes between interior states and the freestream."""
+    from .flux import numerical_edge_flux
+
+    res = np.zeros_like(q)
+    faces = field.far_faces
+    if faces.shape[0] == 0:
+        return res
+    for c in range(3):
+        verts = faces[:, c]
+        qi = q[verts]
+        qe = np.broadcast_to(q_inf, qi.shape)
+        fl = numerical_edge_flux(qi, qe, field.far_vnormals, beta, scheme)
+        np.add.at(res, verts, fl)
+    return res

@@ -1,0 +1,424 @@
+"""Compressible Euler path (5 unknowns per vertex).
+
+FUN3D is both an incompressible and a compressible code; the paper notes
+that "for compressible flows in three dimensions, this eigen-system becomes
+5x5" and that compressibility adds flops "without significantly expanding
+the memory traffic ... and without any fundamental change in the solution
+algorithm".  This module provides that path: ideal-gas Euler equations in
+conservative variables ``q = (rho, rho*u, rho*v, rho*w, E)`` on the same
+median-dual machinery, with
+
+* the analytic flux and its exact 5x5 Jacobian (FD-verified in the tests),
+* a Rusanov upwind flux with acoustic spectral radius ``|Theta| + c |S|``,
+* slip-wall / symmetry and characteristic far-field boundary conditions,
+* limited least-squares reconstruction (reusing the generic gradient and
+  limiter kernels, which are variable-count agnostic),
+* a pseudo-transient Newton-Krylov-Schwarz driver on 5x5 BCSR blocks
+  (reusing the generic GMRES / JFNK / additive-Schwarz stack).
+
+The block machinery (BCSR, ILU, TRSV, Schwarz) is block-size generic, so
+the whole solver stack runs unchanged at ``b=5`` — exactly the paper's
+claim about the compressible regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..solver.gmres import gmres
+from ..solver.jfnk import fd_jacobian_operator
+from ..solver.schwarz import AdditiveSchwarzILU
+from ..sparse.bcsr import BCSRMatrix, bcsr_pattern_from_edges
+from .gradient import lsq_gradients, venkat_limiter
+from .state import FlowField
+from .timestep import ser_cfl
+
+__all__ = [
+    "NVARS_C",
+    "GAMMA",
+    "CompressibleConfig",
+    "compressible_freestream",
+    "euler_flux",
+    "euler_flux_jacobian",
+    "euler_spectral_radius",
+    "rusanov_euler_flux",
+    "compressible_residual",
+    "compressible_local_timestep",
+    "CompressibleJacobian",
+    "solve_compressible_steady",
+    "CompressibleResult",
+]
+
+NVARS_C = 5
+GAMMA = 1.4
+
+
+@dataclass
+class CompressibleConfig:
+    """Parameters of the compressible Euler solve."""
+
+    mach: float = 0.5
+    aoa_deg: float = 3.0
+    gamma: float = GAMMA
+    second_order: bool = True
+    limiter_k: float = 5.0
+
+
+def compressible_freestream(config: CompressibleConfig) -> np.ndarray:
+    """Freestream conservative state with ``rho = 1``, ``p = 1/gamma``
+    (so the sound speed is 1 and ``|u| = Mach``)."""
+    g = config.gamma
+    rho = 1.0
+    p = 1.0 / g
+    a = np.deg2rad(config.aoa_deg)
+    vel = config.mach * np.array([np.cos(a), np.sin(a), 0.0])
+    E = p / (g - 1.0) + 0.5 * rho * vel @ vel
+    return np.array([rho, rho * vel[0], rho * vel[1], rho * vel[2], E])
+
+
+def _pressure(q: np.ndarray, gamma: float) -> np.ndarray:
+    rho = q[..., 0]
+    m2 = np.einsum("...i,...i->...", q[..., 1:4], q[..., 1:4])
+    return (gamma - 1.0) * (q[..., 4] - 0.5 * m2 / rho)
+
+
+def euler_flux(q: np.ndarray, normals: np.ndarray, gamma: float = GAMMA) -> np.ndarray:
+    """Analytic compressible flux ``F(q) . S`` for ``(n, 5)`` states."""
+    rho = q[..., 0]
+    mom = q[..., 1:4]
+    E = q[..., 4]
+    p = _pressure(q, gamma)
+    theta = np.einsum("...i,...i->...", normals, mom) / rho  # S . velocity
+    out = np.empty_like(q)
+    out[..., 0] = rho * theta
+    out[..., 1:4] = mom * theta[..., None] + normals * p[..., None]
+    out[..., 4] = (E + p) * theta
+    return out
+
+
+def euler_flux_jacobian(
+    q: np.ndarray, normals: np.ndarray, gamma: float = GAMMA
+) -> np.ndarray:
+    """Exact ``dF/dq`` of the compressible flux, batched ``(n, 5, 5)``."""
+    n = q.shape[0]
+    rho = q[:, 0]
+    mom = q[:, 1:4]
+    E = q[:, 4]
+    vel = mom / rho[:, None]
+    theta = np.einsum("ni,ni->n", normals, vel)
+    v2 = np.einsum("ni,ni->n", vel, vel)
+    p = _pressure(q, gamma)
+    gm1 = gamma - 1.0
+
+    A = np.zeros((n, NVARS_C, NVARS_C))
+    # row rho
+    A[:, 0, 1:4] = normals
+    # rows momentum
+    dp_drho = 0.5 * gm1 * v2
+    A[:, 1:4, 0] = -vel * theta[:, None] + normals * dp_drho[:, None]
+    A[:, 1:4, 1:4] = (
+        np.einsum("ni,nj->nij", vel, normals)
+        - gm1 * np.einsum("ni,nj->nij", normals, vel)
+    )
+    idx = np.arange(3)
+    A[:, idx + 1, idx + 1] += theta[:, None]
+    A[:, 1:4, 4] = gm1 * normals
+    # row energy
+    H = (E + p) / rho  # total enthalpy per unit mass
+    A[:, 4, 0] = theta * (dp_drho - H)
+    A[:, 4, 1:4] = normals * H[:, None] - gm1 * vel * theta[:, None]
+    A[:, 4, 4] = gamma * theta
+    return A
+
+
+def euler_spectral_radius(
+    ql: np.ndarray, qr: np.ndarray, normals: np.ndarray, gamma: float = GAMMA
+) -> np.ndarray:
+    """``|Theta| + c |S|`` at the average state (acoustic wave speed)."""
+    qa = 0.5 * (ql + qr)
+    rho = qa[..., 0]
+    vel = qa[..., 1:4] / rho[..., None]
+    theta = np.einsum("...i,...i->...", normals, vel)
+    p = np.maximum(_pressure(qa, gamma), 1e-12)
+    c = np.sqrt(gamma * p / rho)
+    s = np.sqrt(np.einsum("...i,...i->...", normals, normals))
+    return np.abs(theta) + c * s
+
+
+def rusanov_euler_flux(
+    ql: np.ndarray, qr: np.ndarray, normals: np.ndarray, gamma: float = GAMMA
+) -> np.ndarray:
+    fl = euler_flux(ql, normals, gamma)
+    fr = euler_flux(qr, normals, gamma)
+    lam = euler_spectral_radius(ql, qr, normals, gamma)
+    return 0.5 * (fl + fr) - 0.5 * lam[..., None] * (qr - ql)
+
+
+# ---------------------------------------------------------------------------
+# Residual
+# ---------------------------------------------------------------------------
+def _wall_flux_c(q: np.ndarray, normals: np.ndarray, gamma: float) -> np.ndarray:
+    """Slip wall: only the pressure force crosses the face."""
+    out = np.zeros_like(q)
+    p = _pressure(q, gamma)
+    out[..., 1:4] = normals * p[..., None]
+    return out
+
+
+def compressible_residual(
+    fld: FlowField,
+    q: np.ndarray,
+    config: CompressibleConfig,
+    first_order: bool = False,
+) -> np.ndarray:
+    """Spatial residual of the compressible Euler equations, ``(nv, 5)``."""
+    g = config.gamma
+    ql = q[fld.e0]
+    qr = q[fld.e1]
+    if config.second_order and not first_order:
+        grad = lsq_gradients(fld, q)
+        lim = venkat_limiter(fld, q, grad, k=config.limiter_k)
+        dq0 = np.einsum("nvi,ni->nv", grad[fld.e0], fld.emid_d0) * lim[fld.e0]
+        dq1 = np.einsum("nvi,ni->nv", grad[fld.e1], fld.emid_d1) * lim[fld.e1]
+        ql = ql + dq0
+        qr = qr + dq1
+    flux = rusanov_euler_flux(ql, qr, fld.enormals, g)
+    res = np.zeros_like(q)
+    np.add.at(res, fld.e0, flux)
+    np.subtract.at(res, fld.e1, flux)
+
+    for faces, vnormals in (
+        (fld.wall_faces, fld.wall_vnormals),
+        (fld.sym_faces, fld.sym_vnormals),
+    ):
+        for c in range(3):
+            if faces.shape[0] == 0:
+                continue
+            verts = faces[:, c]
+            np.add.at(res, verts, _wall_flux_c(q[verts], vnormals, g))
+
+    q_inf = compressible_freestream(config)
+    if fld.far_faces.shape[0]:
+        for c in range(3):
+            verts = fld.far_faces[:, c]
+            qi = q[verts]
+            fl = rusanov_euler_flux(
+                qi, np.broadcast_to(q_inf, qi.shape), fld.far_vnormals, g
+            )
+            np.add.at(res, verts, fl)
+    return res
+
+
+def compressible_local_timestep(
+    fld: FlowField, q: np.ndarray, config: CompressibleConfig, cfl: float
+) -> np.ndarray:
+    """Local pseudo time step from the acoustic wave-speed sums."""
+    g = config.gamma
+    lam_sum = np.zeros(fld.n_vertices)
+    lam_e = euler_spectral_radius(q[fld.e0], q[fld.e1], fld.enormals, g)
+    np.add.at(lam_sum, fld.e0, lam_e)
+    np.add.at(lam_sum, fld.e1, lam_e)
+    for faces, vnormals in (
+        (fld.wall_faces, fld.wall_vnormals),
+        (fld.sym_faces, fld.sym_vnormals),
+        (fld.far_faces, fld.far_vnormals),
+    ):
+        if faces.shape[0] == 0:
+            continue
+        for c in range(3):
+            verts = faces[:, c]
+            lam_b = euler_spectral_radius(q[verts], q[verts], vnormals, g)
+            np.add.at(lam_sum, verts, lam_b)
+    return cfl * fld.volumes / np.maximum(lam_sum, 1e-30)
+
+
+# ---------------------------------------------------------------------------
+# First-order Jacobian on 5x5 BCSR
+# ---------------------------------------------------------------------------
+class CompressibleJacobian:
+    """Assembles the first-order compressible Jacobian (5x5 blocks)."""
+
+    def __init__(self, fld: FlowField):
+        self.fld = fld
+        nv = fld.n_vertices
+        self.rowptr, self.cols = bcsr_pattern_from_edges(fld.mesh.edges, nv)
+        keys = np.repeat(
+            np.arange(nv, dtype=np.int64), np.diff(self.rowptr)
+        ) * np.int64(nv) + self.cols
+        self._diag = np.searchsorted(
+            keys, np.arange(nv, dtype=np.int64) * nv + np.arange(nv)
+        )
+        self._ij = np.searchsorted(keys, fld.e0 * np.int64(nv) + fld.e1)
+        self._ji = np.searchsorted(keys, fld.e1 * np.int64(nv) + fld.e0)
+
+    def new_matrix(self) -> BCSRMatrix:
+        return BCSRMatrix.from_pattern(self.rowptr, self.cols, NVARS_C)
+
+    def assemble(
+        self,
+        q: np.ndarray,
+        config: CompressibleConfig,
+        out: BCSRMatrix | None = None,
+    ) -> BCSRMatrix:
+        fld = self.fld
+        g = config.gamma
+        A = out if out is not None else self.new_matrix()
+        A.set_zero()
+        vals = A.vals
+
+        ql, qr = q[fld.e0], q[fld.e1]
+        Ai = euler_flux_jacobian(ql, fld.enormals, g)
+        Aj = euler_flux_jacobian(qr, fld.enormals, g)
+        lam = euler_spectral_radius(ql, qr, fld.enormals, g)
+        lamI = lam[:, None, None] * np.eye(NVARS_C)
+        dFdqi = 0.5 * Ai + 0.5 * lamI
+        dFdqj = 0.5 * Aj - 0.5 * lamI
+        np.add.at(vals, self._diag[fld.e0], dFdqi)
+        np.add.at(vals, self._ij, dFdqj)
+        np.add.at(vals, self._diag[fld.e1], -dFdqj)
+        np.add.at(vals, self._ji, -dFdqi)
+
+        # slip wall / symmetry: d(S p)/dq rows
+        gm1 = g - 1.0
+        for faces, vnormals in (
+            (fld.wall_faces, fld.wall_vnormals),
+            (fld.sym_faces, fld.sym_vnormals),
+        ):
+            if faces.shape[0] == 0:
+                continue
+            for c in range(3):
+                verts = faces[:, c]
+                qi = q[verts]
+                vel = qi[:, 1:4] / qi[:, 0:1]
+                v2 = np.einsum("ni,ni->n", vel, vel)
+                blk = np.zeros((verts.shape[0], NVARS_C, NVARS_C))
+                # dp/drho, dp/dm_j, dp/dE
+                blk[:, 1:4, 0] = vnormals * (0.5 * gm1 * v2)[:, None]
+                blk[:, 1:4, 1:4] = -gm1 * np.einsum(
+                    "ni,nj->nij", vnormals, vel
+                )
+                blk[:, 1:4, 4] = gm1 * vnormals
+                np.add.at(vals, self._diag[verts], blk)
+
+        if fld.far_faces.shape[0]:
+            q_inf = compressible_freestream(config)
+            for c in range(3):
+                verts = fld.far_faces[:, c]
+                qi = q[verts]
+                Af = euler_flux_jacobian(qi, fld.far_vnormals, g)
+                lam_f = euler_spectral_radius(
+                    qi, np.broadcast_to(q_inf, qi.shape), fld.far_vnormals, g
+                )
+                blk = 0.5 * Af + 0.5 * lam_f[:, None, None] * np.eye(NVARS_C)
+                np.add.at(vals, self._diag[verts], blk)
+        return A
+
+    def add_pseudo_time(self, A: BCSRMatrix, dt: np.ndarray) -> None:
+        shift = self.fld.volumes / dt
+        A.vals[A.diag_idx] += shift[:, None, None] * np.eye(NVARS_C)
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-transient driver
+# ---------------------------------------------------------------------------
+@dataclass
+class CompressibleResult:
+    """Convergence record of a compressible steady solve."""
+
+    q: np.ndarray
+    steps: int
+    linear_iterations: int
+    residual_history: list[float] = field(default_factory=list)
+    converged: bool = False
+
+
+def solve_compressible_steady(
+    fld: FlowField,
+    config: CompressibleConfig | None = None,
+    cfl0: float = 5.0,
+    cfl_max: float = 1e5,
+    max_steps: int = 100,
+    steady_rtol: float = 1e-6,
+    gmres_rtol: float = 1e-2,
+    ilu_fill: int = 0,
+    max_update: float = 0.25,
+) -> CompressibleResult:
+    """Pseudo-transient NKS solve of the compressible Euler equations.
+
+    Same algorithm as the incompressible driver, on 5x5 blocks; the
+    preconditioner stack (additive-Schwarz block-ILU, level-scheduled
+    TRSV) runs unchanged because it is block-size generic.
+    """
+    config = config or CompressibleConfig()
+    nv = fld.n_vertices
+    q = np.tile(compressible_freestream(config), (nv, 1))
+
+    assembler = CompressibleJacobian(fld)
+    A = assembler.new_matrix()
+    precond = AdditiveSchwarzILU(A, fill_level=ilu_fill)
+
+    def spatial(u_flat: np.ndarray) -> np.ndarray:
+        return compressible_residual(
+            fld, u_flat.reshape(nv, NVARS_C), config
+        ).reshape(-1)
+
+    history: list[float] = []
+    total_linear = 0
+    converged = False
+    cfl = cfl0
+    r0 = None
+    step = 0
+    for step in range(1, max_steps + 1):
+        res = compressible_residual(fld, q, config)
+        rnorm = float(np.sqrt(np.mean(res * res)))
+        history.append(rnorm)
+        if r0 is None:
+            r0 = rnorm
+        if rnorm <= steady_rtol * r0:
+            converged = True
+            break
+        cfl = ser_cfl(cfl0, r0, rnorm, cfl_max=cfl_max, cfl_prev=cfl)
+        dt = compressible_local_timestep(fld, q, config, cfl)
+
+        assembler.assemble(q, config, out=A)
+        assembler.add_pseudo_time(A, dt)
+        precond.update(A)
+
+        diag = np.repeat(fld.volumes / dt, NVARS_C)
+        op = fd_jacobian_operator(
+            spatial, q.reshape(-1), r0=res.reshape(-1), diag=diag
+        )
+        result = gmres(
+            op,
+            -res.reshape(-1),
+            precond=precond.apply,
+            rtol=gmres_rtol,
+            restart=30,
+            maxiter=60,
+        )
+        total_linear += result.iterations
+
+        du = result.x.reshape(nv, NVARS_C)
+        m = np.abs(du).max()
+        scale = min(1.0, max_update / m) if m > 0 else 1.0
+        q_new = q + scale * du
+        # physicality guard: keep density and pressure positive
+        for _ in range(20):
+            if (
+                q_new[:, 0].min() > 0.0
+                and _pressure(q_new, config.gamma).min() > 0.0
+            ):
+                break
+            scale *= 0.5
+            q_new = q + scale * du
+        q = q_new
+
+    return CompressibleResult(
+        q=q,
+        steps=step,
+        linear_iterations=total_linear,
+        residual_history=history,
+        converged=converged,
+    )

@@ -1,0 +1,141 @@
+"""Gradient kernel — unweighted least-squares reconstruction gradients.
+
+FUN3D reconstructs face states from vertex gradients computed by
+least-squares over the incident edges (exact for linear fields everywhere,
+including boundaries — unlike midpoint-rule Green-Gauss, see the mesh
+tests).  The kernel is edge-based: one pass accumulates ``dx * dq``
+contributions to both endpoints, then a batched 3x3 multiply by the
+precomputed inverse normal matrices finishes the job.  In the paper's
+profile this "Grad" kernel is 13% of the baseline run time.
+
+A Venkatakrishnan limiter (smooth, differentiable) guards the second-order
+reconstruction near stagnation points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .state import FlowField
+
+__all__ = [
+    "lsq_gradients",
+    "weighted_lsq_gradients",
+    "green_gauss_gradients",
+    "venkat_limiter",
+]
+
+
+def lsq_gradients(field: FlowField, q: np.ndarray) -> np.ndarray:
+    """Least-squares gradients, ``(n_vertices, 4, 3)``.
+
+    Solves, per vertex i, ``min_g sum_j |q_j - q_i - g . (x_j - x_i)|^2``
+    over edge-connected neighbors j, using the prefactored normal matrices
+    in ``field.lsq_inv``.
+    """
+    dx = field.emid_d0 * 2.0  # x[e1] - x[e0]
+    dq = q[field.e1] - q[field.e0]  # (ne, 4)
+    rhs_contrib = dq[:, :, None] * dx[:, None, :]  # (ne, 4, 3)
+    rhs = np.zeros((field.n_vertices, q.shape[1], 3))
+    np.add.at(rhs, field.e0, rhs_contrib)
+    np.add.at(rhs, field.e1, rhs_contrib)
+    return np.einsum("nij,nvj->nvi", field.lsq_inv, rhs)
+
+
+def weighted_lsq_gradients(field: FlowField, q: np.ndarray) -> np.ndarray:
+    """Inverse-distance-weighted least-squares gradients.
+
+    FUN3D's reconstruction offers both unweighted and 1/|dx|-weighted
+    least squares; weighting improves robustness on highly stretched
+    meshes (boundary-layer cells) by keeping far neighbors from dominating
+    the fit.  Still exact for linear fields.  The weighted normal matrices
+    are not prefactored in :class:`FlowField` (this variant is off the
+    default path), so they are built per call.
+    """
+    dx = field.emid_d0 * 2.0
+    w = 1.0 / np.maximum(np.linalg.norm(dx, axis=1), 1e-300)
+    outer = np.einsum("n,ni,nj->nij", w, dx, dx)
+    m = np.zeros((field.n_vertices, 3, 3))
+    np.add.at(m, field.e0, outer)
+    np.add.at(m, field.e1, outer)
+    tr = np.trace(m, axis1=1, axis2=2)
+    m += (1e-12 * np.maximum(tr, 1e-30))[:, None, None] * np.eye(3)
+    minv = np.linalg.inv(m)
+
+    dq = q[field.e1] - q[field.e0]
+    rhs_contrib = w[:, None, None] * dq[:, :, None] * dx[:, None, :]
+    rhs = np.zeros((field.n_vertices, q.shape[1], 3))
+    np.add.at(rhs, field.e0, rhs_contrib)
+    np.add.at(rhs, field.e1, rhs_contrib)
+    return np.einsum("nij,nvj->nvi", minv, rhs)
+
+
+def green_gauss_gradients(field: FlowField, q: np.ndarray) -> np.ndarray:
+    """Green-Gauss gradients on the median dual (edge midpoint rule).
+
+    ``V_i grad(q)_i ~= sum_j S_ij (q_i + q_j)/2 + boundary closure``.
+    Exact for linear fields at *interior* vertices (the classical
+    median-dual property, see the mesh tests); at boundary vertices the
+    midpoint-rule piece errors do not cancel, which is why the default
+    reconstruction kernel is least squares.  Provided for diagnostics and
+    cross-checks.
+    """
+    nv, nvar = q.shape
+    acc = np.zeros((nv, nvar, 3))
+    mid = 0.5 * (q[field.e0] + q[field.e1])  # (ne, nvar)
+    contrib = mid[:, :, None] * field.enormals[:, None, :]
+    np.add.at(acc, field.e0, contrib)
+    np.subtract.at(acc, field.e1, contrib)
+    for faces, vnormals in (
+        (field.wall_faces, field.wall_vnormals),
+        (field.sym_faces, field.sym_vnormals),
+        (field.far_faces, field.far_vnormals),
+    ):
+        if faces.shape[0] == 0:
+            continue
+        fc = q[faces].mean(axis=1)  # (nf, nvar)
+        for c in range(3):
+            np.add.at(
+                acc, faces[:, c], fc[:, :, None] * vnormals[:, None, :]
+            )
+    return acc / field.volumes[:, None, None]
+
+
+def venkat_limiter(
+    field: FlowField,
+    q: np.ndarray,
+    grad: np.ndarray,
+    k: float = 5.0,
+) -> np.ndarray:
+    """Venkatakrishnan limiter per vertex and variable, in ``[0, 1]``.
+
+    phi = min over incident edges of the smooth Venkat function of
+    (allowed jump) / (reconstructed jump).  ``k`` controls how much
+    limiting happens in smooth regions (larger = less limiting); the
+    threshold scales with the local control-volume size ``h^3 = V``.
+    """
+    nv, nvar = q.shape
+    # min/max of neighbors per vertex and variable
+    qmin = q.copy()
+    qmax = q.copy()
+    np.minimum.at(qmin, field.e0, q[field.e1])
+    np.minimum.at(qmin, field.e1, q[field.e0])
+    np.maximum.at(qmax, field.e0, q[field.e1])
+    np.maximum.at(qmax, field.e1, q[field.e0])
+
+    eps2 = (k**3) * field.volumes  # (nv,)
+    phi = np.ones((nv, nvar))
+
+    for end, disp in ((field.e0, field.emid_d0), (field.e1, field.emid_d1)):
+        d2 = np.einsum("nvi,ni->nv", grad[end], disp)  # reconstructed jump
+        dmax = qmax[end] - q[end]
+        dmin = qmin[end] - q[end]
+        d1 = np.where(d2 > 0.0, dmax, dmin)
+        e2 = eps2[end][:, None]
+        num = (d1 * d1 + e2) * d2 + 2.0 * d2 * d2 * d1
+        den = d2 * (d1 * d1 + 2.0 * d2 * d2 + d1 * d2 + e2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            val = np.where(np.abs(d2) > 1e-14, num / den, 1.0)
+        val = np.clip(val, 0.0, 1.0)
+        np.minimum.at(phi, end, val)
+    return phi

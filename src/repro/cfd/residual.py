@@ -1,0 +1,56 @@
+"""Full nonlinear residual assembly: f(q) in the paper's Eq. (2).
+
+``R_i = sum_faces F . S`` over vertex i's control-volume surface — interior
+dual faces (the edge-based flux kernel), slip-wall/symmetry faces and
+far-field faces.  At steady state ``R = 0``.  The second-order path runs the
+gradient and limiter kernels first, mirroring the kernel mix in the paper's
+profile (flux 42%, gradient 13%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .boundary import farfield_residual, wall_residual
+from .flux import interior_flux_residual
+from .gradient import lsq_gradients, venkat_limiter
+from .state import FlowConfig, FlowField, freestream_state
+
+__all__ = ["compute_residual", "residual_norm"]
+
+
+def compute_residual(
+    field: FlowField,
+    q: np.ndarray,
+    config: FlowConfig,
+    first_order: bool = False,
+) -> np.ndarray:
+    """Spatial residual ``f(q)``, shape ``(n_vertices, 4)``.
+
+    ``first_order=True`` skips reconstruction regardless of the config —
+    used for the preconditioner-side discretization, which the paper keeps
+    "lower-order, sparser and more diffusive".
+    """
+    grad = limiter = None
+    if config.second_order and not first_order:
+        grad = lsq_gradients(field, q)
+        limiter = venkat_limiter(field, q, grad, k=config.limiter_k)
+    res = interior_flux_residual(
+        field, q, config.beta, grad, limiter, scheme=config.dissipation
+    )
+    res += wall_residual(field, q, "wall")
+    res += wall_residual(field, q, "sym")
+    res += farfield_residual(
+        field, q, freestream_state(config), config.beta,
+        scheme=config.dissipation,
+    )
+    if config.mu > 0.0:
+        from .viscous import viscous_residual
+
+        res += viscous_residual(field, q, config.mu, field.visc_coeffs)
+    return res
+
+
+def residual_norm(res: np.ndarray) -> float:
+    """Root-mean-square residual over all unknowns (convergence monitor)."""
+    return float(np.sqrt(np.mean(res * res)))

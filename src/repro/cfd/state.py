@@ -1,0 +1,135 @@
+"""Flow state and solver-facing mesh fields for the incompressible solver.
+
+FUN3D's incompressible path solves for ``q = (p, u, v, w)`` per vertex with
+Chorin's artificial compressibility: the continuity equation becomes
+``dp/dt + beta * div(u) = 0`` so the steady state satisfies ``div(u) = 0``
+while the pseudo-transient system stays hyperbolic with wave speed
+``c = sqrt(theta^2 + beta)``.
+
+:class:`FlowField` bundles the mesh-derived arrays every kernel needs
+(edge endpoints, dual normals, volumes, tagged boundary data) in the layout
+the kernels stream over, so hot loops never touch the mesh object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mesh.core import TAG_FARFIELD, TAG_SYMMETRY, TAG_WALL, UnstructuredMesh
+
+__all__ = ["NVARS", "FlowField", "freestream_state", "FlowConfig"]
+
+NVARS = 4  # (p, u, v, w)
+
+
+@dataclass
+class FlowConfig:
+    """Physical/numerical parameters of the incompressible Euler solve."""
+
+    beta: float = 4.0  # artificial compressibility parameter
+    aoa_deg: float = 3.0  # angle of attack (x-y plane)
+    u_inf: float = 1.0  # freestream speed
+    second_order: bool = True  # reconstructed (limited) fluxes
+    limiter_k: float = 5.0  # Venkatakrishnan limiter constant
+    #: upwind dissipation: "rusanov" (spectral radius) or "roe" (full
+    #: characteristic matrix dissipation via the face eigen-system)
+    dissipation: str = "rusanov"
+    #: dynamic viscosity; 0 = inviscid Euler (the paper's regime).  Nonzero
+    #: activates the Galerkin-style viscous fluxes of Eq. (1).
+    mu: float = 0.0
+
+
+def freestream_state(config: FlowConfig) -> np.ndarray:
+    """Freestream ``(p, u, v, w)`` for the configured angle of attack."""
+    a = np.deg2rad(config.aoa_deg)
+    return np.array(
+        [0.0, config.u_inf * np.cos(a), config.u_inf * np.sin(a), 0.0]
+    )
+
+
+@dataclass
+class FlowField:
+    """Kernel-ready views of a mesh for the flow solver.
+
+    Attributes mirror the data structures discussed in the paper's
+    "Data structures" optimization: edge arrays are SoA (streamed in edge
+    order), vertex arrays are AoS rows of 4 states (gathered per edge).
+    """
+
+    mesh: UnstructuredMesh
+    e0: np.ndarray = field(init=False)
+    e1: np.ndarray = field(init=False)
+    enormals: np.ndarray = field(init=False)
+    emid_d0: np.ndarray = field(init=False)  # edge midpoint - x[e0]
+    emid_d1: np.ndarray = field(init=False)  # edge midpoint - x[e1]
+    volumes: np.ndarray = field(init=False)
+    wall_faces: np.ndarray = field(init=False)
+    wall_vnormals: np.ndarray = field(init=False)
+    far_faces: np.ndarray = field(init=False)
+    far_vnormals: np.ndarray = field(init=False)
+    sym_faces: np.ndarray = field(init=False)
+    sym_vnormals: np.ndarray = field(init=False)
+    lsq_inv: np.ndarray = field(init=False)  # per-vertex 3x3 LSQ pseudo-inv
+    _visc_coeffs: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        mesh = self.mesh
+        self.e0 = np.ascontiguousarray(mesh.edges[:, 0])
+        self.e1 = np.ascontiguousarray(mesh.edges[:, 1])
+        self.enormals = np.ascontiguousarray(mesh.edge_normals)
+        mid = 0.5 * (mesh.coords[self.e0] + mesh.coords[self.e1])
+        self.emid_d0 = mid - mesh.coords[self.e0]
+        self.emid_d1 = mid - mesh.coords[self.e1]
+        self.volumes = mesh.volumes
+
+        def faces_for(tag: int) -> tuple[np.ndarray, np.ndarray]:
+            sel = mesh.btags == tag
+            return mesh.bfaces[sel], mesh.bvertex_normals[sel]
+
+        self.wall_faces, self.wall_vnormals = faces_for(TAG_WALL)
+        self.far_faces, self.far_vnormals = faces_for(TAG_FARFIELD)
+        self.sym_faces, self.sym_vnormals = faces_for(TAG_SYMMETRY)
+
+        self.lsq_inv = self._build_lsq()
+
+    def _build_lsq(self) -> np.ndarray:
+        """Per-vertex inverse LSQ normal matrix for gradient reconstruction.
+
+        Unweighted least squares over incident edges: the gradient solves
+        ``(sum dx dx^T) g = sum dx dq``.  The 3x3 normal matrices are
+        assembled edge-based and inverted in one batched call.
+        """
+        nv = self.mesh.n_vertices
+        dx = self.mesh.coords[self.e1] - self.mesh.coords[self.e0]
+        outer = np.einsum("ni,nj->nij", dx, dx)
+        m = np.zeros((nv, 3, 3))
+        np.add.at(m, self.e0, outer)
+        np.add.at(m, self.e1, outer)
+        # Boundary vertices with nearly-planar neighborhoods can still be
+        # full rank in 3D tet meshes; regularize defensively anyway.
+        tr = np.trace(m, axis1=1, axis2=2)
+        m += (1e-12 * np.maximum(tr, 1e-30))[:, None, None] * np.eye(3)
+        return np.linalg.inv(m)
+
+    @property
+    def n_vertices(self) -> int:
+        return self.mesh.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.e0.shape[0]
+
+    @property
+    def visc_coeffs(self) -> np.ndarray:
+        """Per-edge viscous transmissibilities (lazy; see repro.cfd.viscous)."""
+        if self._visc_coeffs is None:
+            from .viscous import viscous_edge_coefficients
+
+            self._visc_coeffs = viscous_edge_coefficients(self)
+        return self._visc_coeffs
+
+    def initial_state(self, config: FlowConfig) -> np.ndarray:
+        """Uniform freestream initial state, ``(n_vertices, 4)``."""
+        return np.tile(freestream_state(config), (self.n_vertices, 1))

@@ -1,0 +1,73 @@
+"""Pseudo-transient continuation: local time steps and SER CFL growth.
+
+The implicit step (paper Eq. 2) is ``(u^l - u^{l-1}) / dt_l + f(u^l) = 0``
+with ``dt_l -> inf`` as ``l -> inf``.  Per Mulder & Van Leer, the time step
+is local (``dt_i = CFL * V_i / sum_faces lambda_f``) and the CFL grows by
+Switched Evolution Relaxation: ``CFL_l = CFL_0 * ||f(u^0)|| / ||f(u^l)||``,
+capped, so the iteration turns into Newton's method as the residual drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .flux import edge_spectral_radius
+from .state import FlowConfig, FlowField, freestream_state
+
+__all__ = ["local_timestep", "ser_cfl"]
+
+
+def local_timestep(
+    field: FlowField, q: np.ndarray, config: FlowConfig, cfl: float
+) -> np.ndarray:
+    """Per-vertex pseudo time step ``dt_i = CFL * V_i / sum lambda_f``.
+
+    The wave-speed sum runs over all dual faces of the control volume
+    (interior edges seen from both endpoints, plus boundary faces).
+    """
+    beta = config.beta
+    lam_sum = np.zeros(field.n_vertices)
+    lam_e = edge_spectral_radius(
+        q[field.e0], q[field.e1], field.enormals, beta
+    )
+    np.add.at(lam_sum, field.e0, lam_e)
+    np.add.at(lam_sum, field.e1, lam_e)
+
+    for faces, vnormals in (
+        (field.wall_faces, field.wall_vnormals),
+        (field.sym_faces, field.sym_vnormals),
+        (field.far_faces, field.far_vnormals),
+    ):
+        if faces.shape[0] == 0:
+            continue
+        for c in range(3):
+            verts = faces[:, c]
+            lam_b = edge_spectral_radius(
+                q[verts], q[verts], vnormals, beta
+            )
+            np.add.at(lam_sum, verts, lam_b)
+
+    lam_sum = np.maximum(lam_sum, 1e-30)
+    return cfl * field.volumes / lam_sum
+
+
+def ser_cfl(
+    cfl0: float,
+    r0: float,
+    r_now: float,
+    cfl_max: float = 1e6,
+    growth_cap: float = 2.0,
+    cfl_prev: float | None = None,
+) -> float:
+    """Switched Evolution Relaxation CFL.
+
+    ``cfl = cfl0 * r0 / r_now`` clipped to ``cfl_max``; if ``cfl_prev`` is
+    given, growth per step is additionally capped at ``growth_cap``x (keeps
+    early transients from blowing the CFL up prematurely).
+    """
+    if r_now <= 0.0:
+        return cfl_max
+    cfl = cfl0 * r0 / r_now
+    if cfl_prev is not None:
+        cfl = min(cfl, growth_cap * cfl_prev)
+    return float(min(max(cfl, cfl0), cfl_max))

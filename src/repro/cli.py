@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``mesh-info``   generate a dataset, validate it, print structural stats
+``solve``       run the steady solver, print convergence/forces/profile
+``speedup``     price a run under baseline + optimized configs (Fig 8a)
+``scaling``     multi-node strong-scaling table (Fig 9-11)
+``partition``   partition-quality study (natural / RCB / multilevel)
+
+Every command works on the generated ONERA-M6-like datasets; ``--scale``
+sizes them (1.0 = full Mesh-C'/Mesh-D' analogues).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="PyFUN3D: IPDPS'15 shared-memory CFD optimization study",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_mesh_args(sp):
+        sp.add_argument("--dataset", choices=["mesh-c", "mesh-d", "wing"],
+                        default="mesh-c")
+        sp.add_argument("--scale", type=float, default=0.12)
+        sp.add_argument("--seed", type=int, default=7)
+
+    sp = sub.add_parser("mesh-info", help="generate and validate a dataset")
+    add_mesh_args(sp)
+
+    sp = sub.add_parser("solve", help="steady flow solve")
+    add_mesh_args(sp)
+    sp.add_argument("--ilu", type=int, default=1, help="ILU fill level")
+    sp.add_argument("--subdomains", type=int, default=1)
+    sp.add_argument("--dissipation", choices=["rusanov", "roe"],
+                    default="rusanov")
+    sp.add_argument("--aoa", type=float, default=3.0)
+    sp.add_argument("--max-steps", type=int, default=100)
+    sp.add_argument("--rtol", type=float, default=1e-6)
+
+    sp = sub.add_parser("speedup", help="modeled optimization speedups")
+    add_mesh_args(sp)
+    sp.add_argument("--ilu", type=int, default=0)
+    sp.add_argument("--threads", type=int, default=20)
+
+    sp = sub.add_parser("scaling", help="multi-node strong scaling model")
+    sp.add_argument("--workload", choices=["mesh-c", "mesh-d"],
+                    default="mesh-d")
+    sp.add_argument("--nodes", type=int, nargs="+",
+                    default=[1, 4, 16, 64, 256])
+    sp.add_argument("--pipelined", action="store_true",
+                    help="model pipelined GMRES (future-work extension)")
+
+    sp = sub.add_parser("partition", help="partition quality study")
+    add_mesh_args(sp)
+    sp.add_argument("--parts", type=int, default=20)
+    return p
+
+
+def _make_mesh(args):
+    from .mesh import mesh_c_prime, mesh_d_prime, wing_mesh
+
+    if args.dataset == "mesh-c":
+        return mesh_c_prime(scale=args.scale, seed=args.seed)
+    if args.dataset == "mesh-d":
+        return mesh_d_prime(scale=args.scale, seed=args.seed)
+    f = max(0.2, float(args.scale) ** (1.0 / 3.0))
+    return wing_mesh(
+        n_around=max(12, int(48 * f)),
+        n_radial=max(5, int(16 * f)),
+        n_span=max(4, int(12 * f)),
+        seed=args.seed,
+    )
+
+
+def cmd_mesh_info(args) -> int:
+    from .mesh import validate_mesh
+
+    mesh = _make_mesh(args)
+    report = validate_mesh(mesh)
+    print(mesh)
+    for k, v in mesh.stats().items():
+        print(f"  {k:<12} {v:g}")
+    print(report)
+    return 0 if report.ok else 1
+
+
+def cmd_solve(args) -> int:
+    from .apps import Fun3dApp, OptimizationConfig
+    from .cfd import FlowConfig, integrate_forces
+    from .solver import SolverOptions
+
+    mesh = _make_mesh(args)
+    app = Fun3dApp(
+        mesh,
+        flow=FlowConfig(aoa_deg=args.aoa, dissipation=args.dissipation),
+        solver=SolverOptions(
+            max_steps=args.max_steps,
+            steady_rtol=args.rtol,
+            n_subdomains=args.subdomains,
+        ),
+    )
+    res = app.run(OptimizationConfig.baseline(ilu_fill=args.ilu))
+    s = res.solve
+    print(f"{mesh.name}: {mesh.n_vertices} vertices / {mesh.n_edges} edges")
+    print(
+        f"converged={s.converged} steps={s.steps} "
+        f"krylov={s.linear_iterations} "
+        f"residual {s.initial_residual:.3e} -> {s.final_residual:.3e}"
+    )
+    forces = integrate_forces(app.field, s.q, app.flow)
+    print(f"CL={forces.cl:.4f} CD={forces.cd:.4f}")
+    print("baseline profile:")
+    for name, frac in sorted(res.fractions().items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<9} {100 * frac:5.1f}%")
+    return 0 if s.converged else 1
+
+
+def cmd_speedup(args) -> int:
+    from .apps import Fun3dApp, OptimizationConfig
+    from .solver import SolverOptions
+
+    mesh = _make_mesh(args)
+    app = Fun3dApp(mesh, solver=SolverOptions(max_steps=100))
+    res = app.run(OptimizationConfig.baseline(ilu_fill=args.ilu))
+    opt = OptimizationConfig.optimized(n_threads=args.threads,
+                                       ilu_fill=args.ilu)
+    measured = app.speedup(res.counts, opt)
+    paper_scale = app.speedup_paper_scale(res.counts, opt)
+    print(f"{mesh.name}: modeled full-app speedup at {args.threads} threads")
+    print(f"  at this mesh's recurrence parallelism: {measured:.1f}x")
+    print(f"  at paper-scale parallelism (248x):     {paper_scale:.1f}x "
+          f"(paper: 6.9x)")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from .dist import MESH_C_PAPER, MESH_D_PAPER, MultiNodeModel, NodeConfig
+    from .perf import format_series
+
+    wl = MESH_C_PAPER if args.workload == "mesh-c" else MESH_D_PAPER
+    configs = {
+        "baseline": NodeConfig(optimized=False),
+        "optimized": NodeConfig(
+            optimized=True, pipelined_gmres=args.pipelined
+        ),
+        "hybrid": NodeConfig(
+            optimized=True, ranks_per_node=2, threads_per_rank=8,
+            threaded_kernels=True, pipelined_gmres=args.pipelined
+        ),
+    }
+    series = {}
+    for name, cfg in configs.items():
+        mm = MultiNodeModel(wl, config=cfg)
+        series[name + " (s)"] = [f"{mm.total_time(n):.1f}" for n in args.nodes]
+    base = MultiNodeModel(wl, config=configs["baseline"])
+    series["comm %"] = [
+        f"{100 * base.step_breakdown(n)['comm_fraction']:.0f}%"
+        for n in args.nodes
+    ]
+    print(format_series("nodes", args.nodes, series,
+                        title=f"{wl.name} strong scaling (modeled)"))
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from .partition import (
+        coordinate_partition,
+        natural_partition,
+        partition_graph,
+        partition_report,
+    )
+    from .perf import format_table
+
+    mesh = _make_mesh(args)
+    k = args.parts
+    rows = []
+    for name, labels in (
+        ("natural", natural_partition(mesh.n_vertices, k)),
+        ("RCB", coordinate_partition(mesh.coords, k)),
+        ("multilevel", partition_graph(mesh.edges, mesh.n_vertices, k,
+                                       seed=args.seed)),
+    ):
+        r = partition_report(mesh.edges, labels, k)
+        rows.append([
+            name, f"{100 * r.cut_fraction:.1f}%",
+            f"+{100 * r.replication_overhead:.1f}%",
+            f"{r.vertex_imbalance:.3f}", f"{r.edge_imbalance:.3f}",
+        ])
+    print(format_table(
+        ["partitioner", "edge cut", "replication", "vertex imbalance",
+         "edge imbalance"],
+        rows,
+        title=f"{mesh.name}: {k}-way partition quality",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "mesh-info": cmd_mesh_info,
+    "solve": cmd_solve,
+    "speedup": cmd_speedup,
+    "scaling": cmd_scaling,
+    "partition": cmd_partition,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

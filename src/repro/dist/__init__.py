@@ -1,0 +1,23 @@
+"""Distributed-memory simulation: halo exchange, network model, scaling model."""
+
+from .halo import DomainDecomposition, LocalDomain
+from .multinode import (
+    MESH_C_PAPER,
+    MESH_D_PAPER,
+    MultiNodeModel,
+    NodeConfig,
+    WorkloadSpec,
+)
+from .network import STAMPEDE_FDR, FatTreeNetwork
+
+__all__ = [
+    "DomainDecomposition",
+    "LocalDomain",
+    "MESH_C_PAPER",
+    "MESH_D_PAPER",
+    "MultiNodeModel",
+    "NodeConfig",
+    "WorkloadSpec",
+    "STAMPEDE_FDR",
+    "FatTreeNetwork",
+]

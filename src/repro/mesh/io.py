@@ -1,0 +1,46 @@
+"""Mesh persistence.
+
+A minimal container format (NumPy ``.npz``) so generated datasets — the
+Mesh-C'/Mesh-D' analogues — can be produced once and reused across benchmark
+runs, mirroring how the paper's meshes were fixed inputs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .core import UnstructuredMesh
+
+__all__ = ["save_mesh", "load_mesh"]
+
+_FORMAT_VERSION = 1
+
+
+def save_mesh(mesh: UnstructuredMesh, path: str | os.PathLike) -> None:
+    """Write a mesh to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        name=np.array(mesh.name),
+        coords=mesh.coords,
+        tets=mesh.tets,
+        bfaces=mesh.bfaces,
+        btags=mesh.btags,
+    )
+
+
+def load_mesh(path: str | os.PathLike) -> UnstructuredMesh:
+    """Read a mesh written by :func:`save_mesh`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported mesh format version {version}")
+        return UnstructuredMesh(
+            coords=data["coords"],
+            tets=data["tets"],
+            bfaces=data["bfaces"],
+            btags=data["btags"],
+            name=str(data["name"]),
+        )

@@ -1,0 +1,47 @@
+"""Locality metrics for vertex orderings.
+
+Used to quantify what RCM buys: matrix bandwidth/profile (which bounds the
+ILU/TRSV working set) and an edge-span statistic (which models the cache
+footprint of the gathers in edge-based loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bandwidth", "profile", "edge_span", "ordering_report"]
+
+
+def bandwidth(edges: np.ndarray) -> int:
+    """Maximum |i - j| over edges — the matrix half-bandwidth."""
+    if edges.shape[0] == 0:
+        return 0
+    return int(np.abs(edges[:, 1] - edges[:, 0]).max())
+
+
+def profile(rowptr: np.ndarray, cols: np.ndarray) -> int:
+    """Sum over rows of (row index - smallest column index), the envelope size."""
+    n = rowptr.shape[0] - 1
+    total = 0
+    for i in range(n):
+        row = cols[rowptr[i] : rowptr[i + 1]]
+        if row.size:
+            lo = min(int(row.min()), i)
+            total += i - lo
+    return total
+
+
+def edge_span(edges: np.ndarray) -> float:
+    """Mean |i - j| over edges — the average gather distance in edge loops."""
+    if edges.shape[0] == 0:
+        return 0.0
+    return float(np.abs(edges[:, 1] - edges[:, 0]).mean())
+
+
+def ordering_report(edges: np.ndarray, n_vertices: int) -> dict[str, float]:
+    """Summary statistics of an ordering's locality."""
+    return {
+        "bandwidth": float(bandwidth(edges)),
+        "edge_span": edge_span(edges),
+        "relative_bandwidth": float(bandwidth(edges)) / max(n_vertices, 1),
+    }

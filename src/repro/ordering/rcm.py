@@ -1,0 +1,159 @@
+"""Reverse Cuthill-McKee vertex reordering.
+
+The paper reorders vertex numbering with RCM "to improve locality" before
+threading the edge loops: RCM clusters each vertex's neighbors into a narrow
+index band, so the gathers in the edge-based kernels hit nearby cache lines
+and the Jacobian's BCSR profile narrows (which also shortens ILU/TRSV level
+structures).  Implemented from scratch on the CSR adjacency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["cuthill_mckee", "reverse_cuthill_mckee", "pseudo_peripheral_vertex"]
+
+
+def pseudo_peripheral_vertex(
+    rowptr: np.ndarray, cols: np.ndarray, start: int = 0
+) -> int:
+    """Find a pseudo-peripheral vertex by repeated BFS (George-Liu).
+
+    Starting from ``start``, walk to a vertex of maximal BFS eccentricity;
+    such vertices make good RCM roots because they stretch the level
+    structure, minimizing its width (and hence the reordered bandwidth).
+    """
+    n = rowptr.shape[0] - 1
+    if n == 0:
+        raise ValueError("empty graph")
+    current = start
+    last_ecc = -1
+    for _ in range(n):
+        levels = _bfs_levels(rowptr, cols, current)
+        reached = levels >= 0
+        ecc = int(levels[reached].max())
+        if ecc <= last_ecc:
+            return current
+        last_ecc = ecc
+        far = np.where(levels == ecc)[0]
+        # lowest-degree vertex in the last level
+        degs = rowptr[far + 1] - rowptr[far]
+        current = int(far[np.argmin(degs)])
+    return current
+
+
+def _bfs_levels(rowptr: np.ndarray, cols: np.ndarray, root: int) -> np.ndarray:
+    n = rowptr.shape[0] - 1
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    lvl = 0
+    while frontier.size:
+        lvl += 1
+        nbrs = _neighbors_of(rowptr, cols, frontier)
+        nbrs = nbrs[levels[nbrs] < 0]
+        nbrs = np.unique(nbrs)
+        levels[nbrs] = lvl
+        frontier = nbrs
+    return levels
+
+
+def _neighbors_of(rowptr: np.ndarray, cols: np.ndarray, verts: np.ndarray) -> np.ndarray:
+    if verts.size == 0:
+        return verts
+    counts = rowptr[verts + 1] - rowptr[verts]
+    out = np.empty(int(counts.sum()), dtype=np.int64)
+    pos = 0
+    for v, c in zip(verts, counts):
+        out[pos : pos + c] = cols[rowptr[v] : rowptr[v] + c]
+        pos += c
+    return out
+
+
+def cuthill_mckee(
+    rowptr: np.ndarray, cols: np.ndarray, root: int | None = None
+) -> np.ndarray:
+    """Cuthill-McKee ordering: BFS visiting neighbors by increasing degree.
+
+    Returns ``order`` such that ``order[p]`` is the original index of the
+    vertex placed at position ``p``.  Disconnected components are handled by
+    restarting from a fresh pseudo-peripheral vertex.
+    """
+    n = rowptr.shape[0] - 1
+    degree = (rowptr[1:] - rowptr[:-1]).astype(np.int64)
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    while pos < n:
+        if root is None or pos > 0:
+            unvisited = np.where(~visited)[0]
+            sub_start = int(unvisited[np.argmin(degree[unvisited])])
+            r = _component_peripheral(rowptr, cols, sub_start, visited)
+        else:
+            r = root
+        queue: deque[int] = deque([r])
+        visited[r] = True
+        while queue:
+            v = queue.popleft()
+            order[pos] = v
+            pos += 1
+            nbrs = cols[rowptr[v] : rowptr[v + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            if fresh.size:
+                fresh = np.unique(fresh)
+                fresh = fresh[np.argsort(degree[fresh], kind="stable")]
+                visited[fresh] = True
+                queue.extend(int(u) for u in fresh)
+        root = None
+    return order
+
+
+def _component_peripheral(
+    rowptr: np.ndarray, cols: np.ndarray, start: int, visited: np.ndarray
+) -> int:
+    """Pseudo-peripheral search restricted to the unvisited component."""
+    current = start
+    last_ecc = -1
+    for _ in range(64):
+        levels = _bfs_levels_masked(rowptr, cols, current, visited)
+        reached = levels >= 0
+        ecc = int(levels[reached].max())
+        if ecc <= last_ecc:
+            return current
+        last_ecc = ecc
+        far = np.where(levels == ecc)[0]
+        degs = rowptr[far + 1] - rowptr[far]
+        current = int(far[np.argmin(degs)])
+    return current
+
+
+def _bfs_levels_masked(
+    rowptr: np.ndarray, cols: np.ndarray, root: int, blocked: np.ndarray
+) -> np.ndarray:
+    n = rowptr.shape[0] - 1
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    lvl = 0
+    while frontier.size:
+        lvl += 1
+        nbrs = _neighbors_of(rowptr, cols, frontier)
+        nbrs = nbrs[(levels[nbrs] < 0) & ~blocked[nbrs]]
+        nbrs = np.unique(nbrs)
+        levels[nbrs] = lvl
+        frontier = nbrs
+    return levels
+
+
+def reverse_cuthill_mckee(
+    rowptr: np.ndarray, cols: np.ndarray, root: int | None = None
+) -> np.ndarray:
+    """RCM ordering (Cuthill-McKee reversed); see :func:`cuthill_mckee`.
+
+    The returned ``order`` maps position -> original vertex.  To relabel a
+    mesh, pass the inverse permutation (``perm[order] = arange(n)``) to
+    :meth:`UnstructuredMesh.relabeled`.
+    """
+    return cuthill_mckee(rowptr, cols, root)[::-1].copy()

@@ -1,0 +1,99 @@
+"""Partition quality metrics.
+
+These feed directly into the machine model: the replication overhead of the
+owner-writes edge-loop strategy is exactly the cut-edge fraction, and thread
+load balance bounds the parallel speedup of every strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PartitionReport",
+    "edge_cut",
+    "load_imbalance",
+    "replication_overhead",
+    "partition_report",
+    "edges_per_part",
+]
+
+
+def edge_cut(edges: np.ndarray, labels: np.ndarray) -> int:
+    """Number of edges whose endpoints lie in different parts."""
+    return int((labels[edges[:, 0]] != labels[edges[:, 1]]).sum())
+
+
+def load_imbalance(labels: np.ndarray, n_parts: int, weights=None) -> float:
+    """max part weight / mean part weight (1.0 = perfect balance)."""
+    if weights is None:
+        weights = np.ones(labels.shape[0])
+    sums = np.zeros(n_parts)
+    np.add.at(sums, labels, weights)
+    mean = sums.sum() / n_parts
+    return float(sums.max() / mean) if mean > 0 else 1.0
+
+
+def replication_overhead(edges: np.ndarray, labels: np.ndarray) -> float:
+    """Redundant-compute fraction of the owner-writes edge-loop strategy.
+
+    With vertices divided among threads and each thread processing every
+    edge incident to one of its vertices (writing only its own vertices),
+    each cut edge is processed twice.  The extra work relative to the
+    sequential edge count is therefore ``cut / n_edges`` — the paper's
+    "41% increase in compute" (natural, 20 threads) vs "nominal 4%" (METIS).
+    """
+    if edges.shape[0] == 0:
+        return 0.0
+    return edge_cut(edges, labels) / edges.shape[0]
+
+
+def edges_per_part(
+    edges: np.ndarray, labels: np.ndarray, n_parts: int
+) -> np.ndarray:
+    """Edges processed by each part under owner-writes (cut edges count for
+    both sides)."""
+    counts = np.zeros(n_parts, dtype=np.int64)
+    l0, l1 = labels[edges[:, 0]], labels[edges[:, 1]]
+    np.add.at(counts, l0, 1)
+    cut = l0 != l1
+    np.add.at(counts, l1[cut], 1)
+    return counts
+
+
+@dataclass
+class PartitionReport:
+    """Aggregate quality of a k-way partition."""
+
+    n_parts: int
+    edge_cut: int
+    cut_fraction: float
+    replication_overhead: float
+    vertex_imbalance: float
+    edge_imbalance: float
+
+    def __str__(self) -> str:  # noqa: D105
+        return (
+            f"PartitionReport(k={self.n_parts}, cut={self.edge_cut} "
+            f"({100 * self.cut_fraction:.1f}%), repl=+{100 * self.replication_overhead:.1f}%, "
+            f"vbal={self.vertex_imbalance:.3f}, ebal={self.edge_imbalance:.3f})"
+        )
+
+
+def partition_report(
+    edges: np.ndarray, labels: np.ndarray, n_parts: int
+) -> PartitionReport:
+    """Compute all partition quality metrics at once."""
+    cut = edge_cut(edges, labels)
+    per_part = edges_per_part(edges, labels, n_parts)
+    mean_e = per_part.sum() / n_parts
+    return PartitionReport(
+        n_parts=n_parts,
+        edge_cut=cut,
+        cut_fraction=cut / max(edges.shape[0], 1),
+        replication_overhead=replication_overhead(edges, labels),
+        vertex_imbalance=load_imbalance(labels, n_parts),
+        edge_imbalance=float(per_part.max() / mean_e) if mean_e else 1.0,
+    )

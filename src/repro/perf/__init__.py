@@ -1,0 +1,15 @@
+"""Performance instrumentation: kernel timers, profiles, report tables."""
+
+from .profile import KernelRecord, PerfRegistry, get_registry, use_registry
+from .report import format_series, format_table
+from .stream import measure_stream_triad
+
+__all__ = [
+    "KernelRecord",
+    "PerfRegistry",
+    "get_registry",
+    "use_registry",
+    "format_series",
+    "measure_stream_triad",
+    "format_table",
+]

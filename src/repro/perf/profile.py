@@ -1,0 +1,133 @@
+"""Kernel timing/accounting registry.
+
+Reproducing Fig. 5 (the baseline execution profile: flux 42%, TRSV 17%,
+ILU 16%, gradient 13%, Jacobian 7%) needs per-kernel accounting across the
+whole application.  Every layer reports into a :class:`PerfRegistry`:
+wall-clock seconds of the NumPy implementation, plus the *modeled* seconds
+from the shared-memory machine model, plus flop/byte tallies when known.
+
+Registries are explicit objects (the global default can be swapped with
+``use_registry``), so nested experiments don't pollute each other.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["KernelRecord", "PerfRegistry", "get_registry", "use_registry"]
+
+
+@dataclass
+class KernelRecord:
+    """Accumulated statistics of one named kernel."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    model_seconds: float = 0.0
+    flops: float = 0.0
+    bytes: float = 0.0
+
+    def merge(self, other: "KernelRecord") -> None:
+        self.calls += other.calls
+        self.seconds += other.seconds
+        self.model_seconds += other.model_seconds
+        self.flops += other.flops
+        self.bytes += other.bytes
+
+
+@dataclass
+class PerfRegistry:
+    """Named kernel records plus helpers for profile reports."""
+
+    records: dict[str, KernelRecord] = field(default_factory=dict)
+
+    def record(self, name: str) -> KernelRecord:
+        if name not in self.records:
+            self.records[name] = KernelRecord()
+        return self.records[name]
+
+    def add(
+        self,
+        name: str,
+        seconds: float = 0.0,
+        model_seconds: float = 0.0,
+        flops: float = 0.0,
+        nbytes: float = 0.0,
+        calls: int = 1,
+    ) -> None:
+        r = self.record(name)
+        r.calls += calls
+        r.seconds += seconds
+        r.model_seconds += model_seconds
+        r.flops += flops
+        r.bytes += nbytes
+
+    @contextmanager
+    def timer(self, name: str, flops: float = 0.0, nbytes: float = 0.0):
+        """Time a block of code and accumulate it under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(
+                name,
+                seconds=time.perf_counter() - t0,
+                flops=flops,
+                nbytes=nbytes,
+            )
+
+    def total_seconds(self, model: bool = False) -> float:
+        key = "model_seconds" if model else "seconds"
+        return sum(getattr(r, key) for r in self.records.values())
+
+    def fractions(self, model: bool = False) -> dict[str, float]:
+        """Per-kernel share of total time (the Fig. 5 pie)."""
+        total = self.total_seconds(model=model) or 1.0
+        key = "model_seconds" if model else "seconds"
+        return {
+            name: getattr(r, key) / total for name, r in self.records.items()
+        }
+
+    def report(self, model: bool = False) -> str:
+        """Human-readable profile table sorted by time share."""
+        key = "model_seconds" if model else "seconds"
+        total = self.total_seconds(model=model) or 1.0
+        rows = sorted(
+            self.records.items(), key=lambda kv: -getattr(kv[1], key)
+        )
+        lines = [f"{'kernel':<24}{'calls':>8}{'seconds':>12}{'share':>8}"]
+        for name, r in rows:
+            secs = getattr(r, key)
+            lines.append(
+                f"{name:<24}{r.calls:>8}{secs:>12.4f}{100 * secs / total:>7.1f}%"
+            )
+        lines.append(f"{'TOTAL':<24}{'':>8}{total:>12.4f}{100.0:>7.1f}%")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def merged_into(self, other: "PerfRegistry") -> None:
+        for name, r in self.records.items():
+            other.record(name).merge(r)
+
+
+_global = PerfRegistry()
+_stack: list[PerfRegistry] = []
+
+
+def get_registry() -> PerfRegistry:
+    """The currently active registry (innermost ``use_registry`` or global)."""
+    return _stack[-1] if _stack else _global
+
+
+@contextmanager
+def use_registry(registry: PerfRegistry):
+    """Route all accounting inside the block to ``registry``."""
+    _stack.append(registry)
+    try:
+        yield registry
+    finally:
+        _stack.pop()

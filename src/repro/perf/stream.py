@@ -1,0 +1,37 @@
+"""Host STREAM-style bandwidth measurement.
+
+The machine models are calibrated to the paper's platforms, but it is
+useful to know what the *host* actually sustains (e.g. to interpret the
+wall-clock times the NumPy kernels produce).  This measures the classic
+triad ``a = b + s * c`` over arrays far larger than any cache.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["measure_stream_triad"]
+
+
+def measure_stream_triad(
+    n_doubles: int = 8_000_000, repeats: int = 5
+) -> float:
+    """Best-of-``repeats`` STREAM triad bandwidth of this host, in B/s.
+
+    Counts 3 arrays x 8 bytes of traffic per element (two reads, one
+    write; write-allocate traffic is ignored, as STREAM does).
+    """
+    b = np.random.default_rng(0).random(n_doubles)
+    c = np.random.default_rng(1).random(n_doubles)
+    a = np.empty_like(b)
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.multiply(c, 3.0, out=a)
+        a += b
+        dt = time.perf_counter() - t0
+        bw = 3.0 * 8.0 * n_doubles / dt
+        best = max(best, bw)
+    return best

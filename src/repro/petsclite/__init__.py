@@ -1,0 +1,33 @@
+"""PETSc-like layer: instrumented vector primitives and solver objects."""
+
+from .objects import KSP, PC, Mat, OptionsDB, Vec
+from .vec import (
+    vec_axpy,
+    vec_aypx,
+    vec_copy,
+    vec_dot,
+    vec_maxpy,
+    vec_mdot,
+    vec_norm,
+    vec_scale,
+    vec_set,
+    vec_waxpy,
+)
+
+__all__ = [
+    "KSP",
+    "PC",
+    "Mat",
+    "OptionsDB",
+    "Vec",
+    "vec_axpy",
+    "vec_aypx",
+    "vec_copy",
+    "vec_dot",
+    "vec_maxpy",
+    "vec_mdot",
+    "vec_norm",
+    "vec_scale",
+    "vec_set",
+    "vec_waxpy",
+]

@@ -1,0 +1,268 @@
+"""PETSc-style solver objects: Vec, Mat, PC, KSP.
+
+PETSc-FUN3D is organized around PETSc's object model — the application
+assembles a ``Mat``, wraps its matrix-free operator in a shell ``Mat``,
+configures a ``KSP`` (Krylov solver) with a ``PC`` (preconditioner), and
+hands ``Vec`` objects around.  This module provides that shape on top of
+the repro stack so the paper's configuration surface (``-ksp_rtol``,
+``-pc_type asm``, ``-pc_asm_overlap`` ...) is expressible, while all the
+numerics route to ``repro.solver`` / ``repro.sparse``.
+
+It is intentionally a thin, faithful veneer: every vector operation goes
+through the instrumented primitives in :mod:`repro.petsclite.vec`, so
+profiles of KSP solves show the PETSc operation names the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..sparse.bcsr import BCSRMatrix
+from . import vec as _v
+
+if TYPE_CHECKING:  # deferred at runtime: solver.gmres imports this package
+    from ..solver.gmres import GMRESResult
+    from ..solver.schwarz import AdditiveSchwarzILU
+
+__all__ = ["Vec", "Mat", "PC", "KSP", "OptionsDB"]
+
+
+class Vec:
+    """A distributed-in-spirit vector wrapping a NumPy array."""
+
+    def __init__(self, array: np.ndarray):
+        self._a = np.asarray(array, dtype=float)
+
+    # -- creation ------------------------------------------------------
+    @classmethod
+    def create(cls, n: int) -> "Vec":
+        return cls(np.zeros(n))
+
+    def duplicate(self) -> "Vec":
+        return Vec(np.zeros_like(self._a))
+
+    def copy(self) -> "Vec":
+        return Vec(_v.vec_copy(self._a))
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._a
+
+    @property
+    def size(self) -> int:
+        return self._a.shape[0]
+
+    # -- instrumented operations ----------------------------------------
+    def norm(self) -> float:
+        return _v.vec_norm(self._a)
+
+    def dot(self, other: "Vec") -> float:
+        return _v.vec_dot(self._a, other._a)
+
+    def mdot(self, others: list["Vec"]) -> np.ndarray:
+        return _v.vec_mdot([o._a for o in others], self._a)
+
+    def axpy(self, alpha: float, x: "Vec") -> "Vec":
+        _v.vec_axpy(self._a, alpha, x._a)
+        return self
+
+    def aypx(self, alpha: float, x: "Vec") -> "Vec":
+        _v.vec_aypx(self._a, alpha, x._a)
+        return self
+
+    def waxpy(self, alpha: float, x: "Vec", y: "Vec") -> "Vec":
+        _v.vec_waxpy(self._a, alpha, x._a, y._a)
+        return self
+
+    def maxpy(self, alphas: np.ndarray, xs: list["Vec"]) -> "Vec":
+        _v.vec_maxpy(self._a, alphas, [x._a for x in xs])
+        return self
+
+    def scale(self, alpha: float) -> "Vec":
+        _v.vec_scale(self._a, alpha)
+        return self
+
+    def set(self, alpha: float) -> "Vec":
+        _v.vec_set(self._a, alpha)
+        return self
+
+
+class Mat:
+    """A linear operator: BCSR-backed or a matrix-free shell."""
+
+    def __init__(
+        self,
+        n: int,
+        apply_fn: Callable[[np.ndarray], np.ndarray],
+        bcsr: BCSRMatrix | None = None,
+    ):
+        self.n = n
+        self._apply = apply_fn
+        self.bcsr = bcsr
+
+    @classmethod
+    def from_bcsr(cls, A: BCSRMatrix) -> "Mat":
+        return cls(A.shape[0], A.matvec, bcsr=A)
+
+    @classmethod
+    def shell(cls, n: int, apply_fn: Callable[[np.ndarray], np.ndarray]) -> "Mat":
+        """Matrix-free operator (the paper's Jacobian-vector products)."""
+        return cls(n, apply_fn, bcsr=None)
+
+    def mult(self, x: Vec, y: Vec | None = None) -> Vec:
+        out = self._apply(x.array)
+        if y is None:
+            return Vec(out)
+        y.array[:] = out
+        return y
+
+    @property
+    def is_shell(self) -> bool:
+        return self.bcsr is None
+
+
+@dataclass
+class PC:
+    """Preconditioner object: ``none``, ``ilu``, ``bjacobi`` or ``asm``."""
+
+    type: str = "ilu"
+    fill_level: int = 0
+    overlap: int = 0
+    labels: np.ndarray | None = None
+    _impl: "AdditiveSchwarzILU | None" = field(default=None, repr=False)
+
+    def setup(self, pmat: Mat) -> None:
+        """Build the preconditioner from the (assembled) matrix."""
+        if self.type == "none":
+            self._impl = None
+            return
+        if pmat.bcsr is None:
+            raise ValueError("PC setup needs an assembled (BCSR) matrix")
+        if self.type == "ilu":
+            labels, overlap = None, 0
+        elif self.type == "bjacobi":
+            labels, overlap = self.labels, 0
+        elif self.type == "asm":
+            labels, overlap = self.labels, max(self.overlap, 1)
+        else:
+            raise ValueError(f"unknown pc type {self.type!r}")
+        from ..solver.schwarz import AdditiveSchwarzILU
+
+        self._impl = AdditiveSchwarzILU(
+            pmat.bcsr,
+            labels=labels,
+            overlap=overlap,
+            fill_level=self.fill_level,
+        )
+        self._impl.update(pmat.bcsr)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        if self.type == "none" or self._impl is None:
+            return x
+        return self._impl.apply(x)
+
+
+@dataclass
+class KSP:
+    """Krylov solver object (GMRES with right preconditioning)."""
+
+    rtol: float = 1e-5
+    atol: float = 0.0
+    max_it: int = 1000
+    restart: int = 30
+    pc: PC = field(default_factory=lambda: PC(type="none"))
+    _amat: Mat | None = field(default=None, repr=False)
+    _pmat: Mat | None = field(default=None, repr=False)
+
+    def set_operators(self, amat: Mat, pmat: Mat | None = None) -> None:
+        """``amat`` defines the system; ``pmat`` (default ``amat``) feeds the
+        preconditioner — the paper's split between the matrix-free
+        second-order operator and the assembled first-order Jacobian."""
+        self._amat = amat
+        self._pmat = pmat if pmat is not None else amat
+
+    def setup(self) -> None:
+        if self._pmat is None:
+            raise RuntimeError("call set_operators first")
+        self.pc.setup(self._pmat)
+
+    def solve(self, b: Vec, x: Vec | None = None) -> "tuple[Vec, GMRESResult]":
+        if self._amat is None:
+            raise RuntimeError("call set_operators first")
+        from ..solver.gmres import gmres
+
+        result = gmres(
+            self._amat._apply,
+            b.array,
+            precond=self.pc.apply,
+            x0=None if x is None else x.array,
+            rtol=self.rtol,
+            atol=self.atol,
+            restart=self.restart,
+            maxiter=self.max_it,
+        )
+        out = Vec(result.x)
+        return out, result
+
+    def set_from_options(self, options: "OptionsDB") -> None:
+        """Configure from a PETSc-style options database."""
+        self.rtol = options.get_float("ksp_rtol", self.rtol)
+        self.atol = options.get_float("ksp_atol", self.atol)
+        self.max_it = options.get_int("ksp_max_it", self.max_it)
+        self.restart = options.get_int("ksp_gmres_restart", self.restart)
+        self.pc.type = options.get_str("pc_type", self.pc.type)
+        self.pc.fill_level = options.get_int(
+            "pc_factor_levels", self.pc.fill_level
+        )
+        self.pc.overlap = options.get_int("pc_asm_overlap", self.pc.overlap)
+
+
+class OptionsDB:
+    """PETSc-style string options database.
+
+    Parses command-line-like strings: ``"-ksp_rtol 1e-6 -pc_type asm
+    -pc_asm_overlap 1 -snes_monitor"`` (flags without values become True).
+    """
+
+    def __init__(self, spec: str = "", **kwargs):
+        self._opts: dict[str, str] = {}
+        tokens = spec.split()
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if not tok.startswith("-"):
+                raise ValueError(f"expected an option, got {tok!r}")
+            key = tok.lstrip("-")
+            if i + 1 < len(tokens) and not tokens[i + 1].startswith("-"):
+                self._opts[key] = tokens[i + 1]
+                i += 2
+            else:
+                self._opts[key] = "true"
+                i += 1
+        for k, v in kwargs.items():
+            self._opts[k] = str(v)
+
+    def get_str(self, key: str, default: str = "") -> str:
+        return self._opts.get(key, default)
+
+    def get_float(self, key: str, default: float = 0.0) -> float:
+        return float(self._opts.get(key, default))
+
+    def get_int(self, key: str, default: int = 0) -> int:
+        return int(self._opts.get(key, default))
+
+    def get_bool(self, key: str, default: bool = False) -> bool:
+        if key not in self._opts:
+            return default
+        return self._opts[key].lower() in ("true", "1", "yes", "on")
+
+    def has(self, key: str) -> bool:
+        return key in self._opts
+
+    def __contains__(self, key: str) -> bool:  # noqa: D105
+        return key in self._opts

@@ -1,0 +1,114 @@
+"""PETSc-style vector primitives with per-operation accounting.
+
+The paper's single-node Section VI.A finds that after optimizing the big
+kernels, "the 'other' auxiliary operations become quite significant ... the
+major contribution is from the vector primitives (VecMAXPY, VecWAXPY,
+VecMDOT, etc.) and the vector scatter operations (VecScatter), which are
+PETSc native functions" — and its multi-node Section VI.B.3 shows that the
+*lack of threading* in exactly these routines creates the hybrid version's
+Amdahl fraction.
+
+To study that, every vector primitive here goes through one choke point
+that (a) performs the NumPy operation and (b) reports call counts, flops and
+bytes to the active :class:`~repro.perf.PerfRegistry` under its PETSc name.
+The shared-memory model later assigns these kernels a thread count of 1
+(native PETSc) or ``n_threads`` (our optimized replacements) to reproduce
+Fig. 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perf.profile import get_registry
+
+__all__ = [
+    "vec_norm",
+    "vec_dot",
+    "vec_mdot",
+    "vec_axpy",
+    "vec_aypx",
+    "vec_waxpy",
+    "vec_maxpy",
+    "vec_scale",
+    "vec_copy",
+    "vec_set",
+]
+
+_F8 = 8.0  # bytes per double
+
+
+def vec_norm(x: np.ndarray, name: str = "VecNorm") -> float:
+    """2-norm; one reduction (a global collective in the distributed case)."""
+    get_registry().add(name, flops=2.0 * x.size, nbytes=_F8 * x.size)
+    return float(np.linalg.norm(x))
+
+
+def vec_dot(x: np.ndarray, y: np.ndarray) -> float:
+    get_registry().add("VecDot", flops=2.0 * x.size, nbytes=2 * _F8 * x.size)
+    return float(np.dot(x, y))
+
+
+def vec_mdot(xs: list[np.ndarray], y: np.ndarray) -> np.ndarray:
+    """Multiple dot products against a common vector (VecMDot).
+
+    GMRES orthogonalization is built on this: one fused pass over y.
+    """
+    m = len(xs)
+    get_registry().add(
+        "VecMDot", flops=2.0 * m * y.size, nbytes=_F8 * (m + 1) * y.size
+    )
+    if m == 0:
+        return np.zeros(0)
+    return np.asarray(np.stack(xs) @ y)
+
+
+def vec_axpy(y: np.ndarray, alpha: float, x: np.ndarray) -> np.ndarray:
+    """y += alpha * x (in place)."""
+    get_registry().add("VecAXPY", flops=2.0 * x.size, nbytes=3 * _F8 * x.size)
+    y += alpha * x
+    return y
+
+
+def vec_aypx(y: np.ndarray, alpha: float, x: np.ndarray) -> np.ndarray:
+    """y = alpha * y + x (in place)."""
+    get_registry().add("VecAYPX", flops=2.0 * x.size, nbytes=3 * _F8 * x.size)
+    y *= alpha
+    y += x
+    return y
+
+
+def vec_waxpy(w: np.ndarray, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """w = alpha * x + y."""
+    get_registry().add("VecWAXPY", flops=2.0 * x.size, nbytes=3 * _F8 * x.size)
+    np.multiply(x, alpha, out=w)
+    w += y
+    return w
+
+
+def vec_maxpy(y: np.ndarray, alphas: np.ndarray, xs: list[np.ndarray]) -> np.ndarray:
+    """y += sum_k alphas[k] * xs[k] (fused multi-AXPY)."""
+    m = len(xs)
+    get_registry().add(
+        "VecMAXPY", flops=2.0 * m * y.size, nbytes=_F8 * (m + 2) * y.size
+    )
+    if m:
+        y += np.asarray(alphas) @ np.stack(xs)
+    return y
+
+
+def vec_scale(x: np.ndarray, alpha: float) -> np.ndarray:
+    get_registry().add("VecScale", flops=1.0 * x.size, nbytes=2 * _F8 * x.size)
+    x *= alpha
+    return x
+
+
+def vec_copy(x: np.ndarray) -> np.ndarray:
+    get_registry().add("VecCopy", nbytes=2 * _F8 * x.size)
+    return x.copy()
+
+
+def vec_set(x: np.ndarray, alpha: float) -> np.ndarray:
+    get_registry().add("VecSet", nbytes=_F8 * x.size)
+    x[:] = alpha
+    return x

@@ -1,0 +1,52 @@
+"""Shared-memory machine model, cost models and executable thread strategies."""
+
+from .cost import (
+    FLUX_WORK_PER_EDGE,
+    GRAD_WORK_PER_EDGE,
+    JACOBIAN_WORK_PER_EDGE,
+    EdgeKernelWork,
+    EdgeLoopOptions,
+    TriSolveOptions,
+    edge_loop_time,
+    flux_kernel_work,
+    grad_kernel_work,
+    ilu_time,
+    jacobian_kernel_work,
+    trsv_time,
+    vector_op_time,
+    vertex_loop_time,
+)
+from .machine import STAMPEDE_E5_2680, XEON_E5_2690_V2, XEON_PHI_KNC, MachineModel
+from .strategies import (
+    EdgeLoopExecutor,
+    make_edge_loop_options,
+    metis_thread_labels,
+    natural_thread_labels,
+    tri_solve_options_from_plan,
+)
+
+__all__ = [
+    "FLUX_WORK_PER_EDGE",
+    "GRAD_WORK_PER_EDGE",
+    "JACOBIAN_WORK_PER_EDGE",
+    "EdgeKernelWork",
+    "EdgeLoopOptions",
+    "TriSolveOptions",
+    "edge_loop_time",
+    "flux_kernel_work",
+    "grad_kernel_work",
+    "ilu_time",
+    "jacobian_kernel_work",
+    "trsv_time",
+    "vector_op_time",
+    "vertex_loop_time",
+    "STAMPEDE_E5_2680",
+    "XEON_E5_2690_V2",
+    "XEON_PHI_KNC",
+    "MachineModel",
+    "EdgeLoopExecutor",
+    "make_edge_loop_options",
+    "metis_thread_labels",
+    "natural_thread_labels",
+    "tri_solve_options_from_plan",
+]

@@ -1,0 +1,133 @@
+"""Trace-driven cache simulation for the edge-loop access patterns.
+
+The paper justifies the AoS node-data layout with a "detailed cache
+analysis indicat[ing] ... a 20% better reuse across L1 and L2 caches".
+This module makes that analysis reproducible: a set-associative LRU cache
+model is driven by the *actual* memory-access trace of the flux kernel on
+the actual mesh — vertex gathers under SoA or AoS layout, streaming edge
+data — for any vertex ordering (natural vs. RCM).  The measured miss rates
+both validate the claim and ground the ``dram_bytes_per_edge`` constants
+in the analytic cost model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheSim", "CacheStats", "edge_loop_trace", "simulate_edge_loop"]
+
+
+@dataclass
+class CacheStats:
+    """Outcome of one simulated trace."""
+
+    accesses: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.misses / max(self.accesses, 1)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / max(self.accesses, 1)
+
+
+class CacheSim:
+    """Set-associative LRU cache over 64-byte lines."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, assoc: int = 8):
+        if size_bytes % (line_bytes * assoc):
+            raise ValueError("cache size must be a multiple of line*assoc")
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.n_sets = size_bytes // (line_bytes * assoc)
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access_lines(self, lines: np.ndarray) -> None:
+        """Feed a sequence of line addresses through the cache."""
+        n_sets = self.n_sets
+        assoc = self.assoc
+        sets = self._sets
+        self.accesses += lines.shape[0]
+        misses = 0
+        for line in lines:
+            line = int(line)
+            s = sets[line % n_sets]
+            if line in s:
+                s.move_to_end(line)
+            else:
+                misses += 1
+                s[line] = True
+                if len(s) > assoc:
+                    s.popitem(last=False)
+        self.misses += misses
+
+    def stats(self) -> CacheStats:
+        return CacheStats(accesses=self.accesses, misses=self.misses)
+
+
+# vertex record: 4 states + 12 gradient + 3 geometry doubles = 152 B
+_VERTEX_FIELDS = 19
+_VERTEX_BYTES = _VERTEX_FIELDS * 8
+
+
+def edge_loop_trace(
+    edges: np.ndarray,
+    n_vertices: int,
+    layout: str = "aos",
+    line_bytes: int = 64,
+) -> np.ndarray:
+    """Line-address trace of one flux-kernel sweep.
+
+    * ``aos``: each vertex's 19 fields live contiguously (152 B -> 3 lines);
+      gathering a vertex touches those lines.
+    * ``soa``: each field is its own array of length ``n_vertices``;
+      gathering a vertex touches one line in each of the 19 arrays.
+
+    Streaming edge data (normal + indices, 40 B/edge) is appended per edge
+    in both layouts.  Returns int64 line addresses.
+    """
+    ne = edges.shape[0]
+    verts = edges.reshape(-1)  # e0, e1 interleaved per edge
+    if layout == "aos":
+        base = verts * _VERTEX_BYTES
+        offsets = np.arange(0, _VERTEX_BYTES, line_bytes)
+        vlines = (base[:, None] + offsets[None, :]) // line_bytes
+        vlines = vlines.reshape(ne, -1)
+    elif layout == "soa":
+        array_stride = n_vertices * 8
+        field_base = np.arange(_VERTEX_FIELDS) * array_stride
+        vlines = (verts[:, None] * 8 + field_base[None, :]) // line_bytes
+        vlines = vlines.reshape(ne, -1)
+    else:
+        raise ValueError(f"unknown layout {layout!r}")
+
+    # edge data streams from a separate region, after the vertex data
+    region = (
+        n_vertices * _VERTEX_BYTES
+        if layout == "aos"
+        else _VERTEX_FIELDS * n_vertices * 8
+    )
+    region = (region // line_bytes + 1) * line_bytes
+    edata = (region + np.arange(ne) * 40) // line_bytes
+
+    return np.concatenate([vlines, edata[:, None]], axis=1).reshape(-1)
+
+
+def simulate_edge_loop(
+    edges: np.ndarray,
+    n_vertices: int,
+    layout: str,
+    cache_bytes: int,
+    assoc: int = 8,
+) -> CacheStats:
+    """Run one flux sweep's trace through a cache of ``cache_bytes``."""
+    sim = CacheSim(cache_bytes, assoc=assoc)
+    sim.access_lines(edge_loop_trace(edges, n_vertices, layout))
+    return sim.stats()

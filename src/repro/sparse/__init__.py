@@ -1,0 +1,38 @@
+"""Block sparse linear algebra: BCSR, ILU(k), TRSV, level scheduling, P2P."""
+
+from .bcsr import BCSRMatrix, bcsr_pattern_from_edges
+from .fill import ilu_symbolic
+from .ilu import ILUFactor, ILUPlan, build_ilu_plan, ilu_factorize
+from .levels import (
+    LevelSchedule,
+    available_parallelism,
+    build_levels,
+    row_flops,
+)
+from .p2p import (
+    DependencyGraph,
+    build_dependency_graph,
+    cross_thread_syncs,
+    sparsify_transitive,
+)
+from .trsv import trsv_solve, trsv_solve_sequential
+
+__all__ = [
+    "BCSRMatrix",
+    "bcsr_pattern_from_edges",
+    "ilu_symbolic",
+    "ILUFactor",
+    "ILUPlan",
+    "build_ilu_plan",
+    "ilu_factorize",
+    "LevelSchedule",
+    "available_parallelism",
+    "build_levels",
+    "row_flops",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "cross_thread_syncs",
+    "sparsify_transitive",
+    "trsv_solve",
+    "trsv_solve_sequential",
+]

@@ -1,0 +1,83 @@
+"""Symbolic ILU(k): level-of-fill pattern computation.
+
+The paper compares ILU-0 (no fill) and ILU-1 (fill level 1) preconditioners:
+fill-in speeds convergence (383 vs 777 linear iterations on Mesh-C) but
+shrinks the available parallelism (60x vs 248x) because the factor pattern
+densifies and the dependency chains lengthen — Table II.
+
+The classic level-of-fill rule: original nonzeros have level 0; a fill entry
+(i, j) created through pivot k gets ``lev(i,j) = lev(i,k) + lev(k,j) + 1``
+and is kept iff its level is <= the fill level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ilu_symbolic"]
+
+
+def ilu_symbolic(
+    rowptr: np.ndarray, cols: np.ndarray, fill_level: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the ILU(k) pattern of a sorted-CSR matrix.
+
+    Returns a new sorted CSR ``(rowptr, cols)`` including fill entries up to
+    ``fill_level``.  ``fill_level=0`` returns (a copy of) the input pattern.
+    """
+    n = rowptr.shape[0] - 1
+    if fill_level < 0:
+        raise ValueError("fill_level must be >= 0")
+    if fill_level == 0:
+        return rowptr.copy(), cols.copy()
+
+    # Per-row dict: column -> level.  Rows are processed in order; when
+    # processing row i we only read finalized rows k < i.
+    row_cols: list[np.ndarray] = []
+    row_levs: list[np.ndarray] = []
+    out_cols: list[np.ndarray] = []
+    new_rowptr = np.zeros(n + 1, dtype=np.int64)
+
+    for i in range(n):
+        lo, hi = rowptr[i], rowptr[i + 1]
+        work: dict[int, int] = {int(j): 0 for j in cols[lo:hi]}
+        # process pivots in ascending column order, including fill pivots
+        # discovered along the way (IKJ order)
+        pivots = sorted(j for j in work if j < i)
+        pi = 0
+        while pi < len(pivots):
+            k = pivots[pi]
+            pi += 1
+            lev_ik = work[k]
+            kcols = row_cols[k]
+            klevs = row_levs[k]
+            # entries of row k beyond column k
+            start = np.searchsorted(kcols, k + 1)
+            for j, lev_kj in zip(kcols[start:], klevs[start:]):
+                lev = lev_ik + int(lev_kj) + 1
+                if lev > fill_level:
+                    continue
+                j = int(j)
+                if j in work:
+                    if lev < work[j]:
+                        work[j] = lev
+                else:
+                    work[j] = lev
+                    if j < i:
+                        # maintain sorted pivot processing order
+                        ins = pi
+                        while ins < len(pivots) and pivots[ins] < j:
+                            ins += 1
+                        pivots.insert(ins, j)
+        cols_i = np.fromiter(sorted(work), dtype=np.int64, count=len(work))
+        levs_i = np.fromiter(
+            (work[int(j)] for j in cols_i), dtype=np.int64, count=len(work)
+        )
+        row_cols.append(cols_i)
+        row_levs.append(levs_i)
+        out_cols.append(cols_i)
+        new_rowptr[i + 1] = new_rowptr[i] + cols_i.shape[0]
+
+    return new_rowptr, (
+        np.concatenate(out_cols) if out_cols else np.zeros(0, dtype=np.int64)
+    )

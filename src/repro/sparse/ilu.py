@@ -1,0 +1,282 @@
+"""Block ILU(k) factorization with a precomputed, vectorized execution plan.
+
+The paper's two "sparse, narrow-band recurrence" kernels are the incomplete
+LU factorization of the block Jacobian and the triangular solves that apply
+it as a preconditioner.  Both are re-executed constantly (ILU once per
+pseudo-time step, TRSV every Krylov iteration), so, exactly like PETSc does
+[Smith & Zhang 2011], we split the work:
+
+* **symbolic phase** (:func:`build_ilu_plan`, once per sparsity pattern):
+  computes the fill pattern, the dependency level schedule, and — the NumPy
+  twist of this reproduction — *flat index arrays* for every batched block
+  operation of the numeric phase, so that factorization and solves run as a
+  short sequence of large ``einsum`` calls instead of per-row Python loops.
+* **numeric phase** (:func:`ilu_factorize`): batched block arithmetic only.
+
+Storage follows the paper: factors overwrite a copy of the matrix in BCSR;
+diagonal blocks are inverted once inside the factorization and stored
+(so the solve multiplies instead of solving 4x4 systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bcsr import BCSRMatrix
+from .fill import ilu_symbolic
+from .levels import LevelSchedule, build_levels
+
+__all__ = ["ILUPlan", "ILUFactor", "build_ilu_plan", "ilu_factorize"]
+
+
+@dataclass
+class _StepBatch:
+    """One position-p step over all rows of one level.
+
+    For every entry m: finalize block ``L = vals[lik_idx[m]] @ diag_inv[krow[m]]``
+    then apply updates ``vals[t_dest] -= L[t_entry] @ vals[t_ukj]``.
+    """
+
+    lik_idx: np.ndarray
+    krow: np.ndarray
+    t_entry: np.ndarray
+    t_dest: np.ndarray
+    t_ukj: np.ndarray
+
+
+@dataclass
+class _LevelPairs:
+    """Flattened (row, block, col) triples of one level's off-diagonal part,
+    used by the vectorized triangular solves."""
+
+    rows: np.ndarray  # level's rows
+    pair_row: np.ndarray  # row index per off-diagonal block
+    pair_blk: np.ndarray  # block value index
+    pair_col: np.ndarray  # column (the already-solved unknown)
+
+
+@dataclass
+class ILUPlan:
+    """Symbolic factorization plan for a fixed sparsity pattern."""
+
+    n: int
+    b: int
+    fill_level: int
+    rowptr: np.ndarray
+    cols: np.ndarray
+    diag_idx: np.ndarray
+    orig_map: np.ndarray  # factor-val index of each original nonzero
+    schedule: LevelSchedule  # forward (lower) dependency levels
+    schedule_back: LevelSchedule  # backward (upper) dependency levels
+    steps: list[list[_StepBatch]]
+    fwd_pairs: list[_LevelPairs]
+    bwd_pairs: list[_LevelPairs]
+    factor_nnzb: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.factor_nnzb = int(self.cols.shape[0])
+
+    # work accounting used by the machine model
+    def factor_block_ops(self) -> int:
+        """Total block-level multiply ops in the numeric factorization."""
+        total = 0
+        for level in self.steps:
+            for sb in level:
+                total += sb.lik_idx.shape[0] + sb.t_dest.shape[0]
+        return total + self.n  # + diagonal inversions
+
+    def solve_block_ops(self) -> int:
+        """Block multiplies in one forward+backward solve."""
+        off = sum(lp.pair_blk.shape[0] for lp in self.fwd_pairs)
+        off += sum(lp.pair_blk.shape[0] for lp in self.bwd_pairs)
+        return off + self.n  # + diagonal multiplies
+
+
+@dataclass
+class ILUFactor:
+    """Numeric ILU factors: L (unit lower) and U share ``vals``; the
+    diagonal blocks of U are additionally stored inverted."""
+
+    plan: ILUPlan
+    vals: np.ndarray  # (factor_nnzb, b, b)
+    diag_inv: np.ndarray  # (n, b, b)
+
+
+def build_ilu_plan(
+    rowptr: np.ndarray,
+    cols: np.ndarray,
+    b: int = 4,
+    fill_level: int = 0,
+) -> ILUPlan:
+    """Build the symbolic plan for ILU(``fill_level``) on a sorted pattern."""
+    f_rowptr, f_cols = ilu_symbolic(rowptr, cols, fill_level)
+    n = rowptr.shape[0] - 1
+
+    # map original nonzeros into the (superset) factor pattern
+    orig_map = np.empty(cols.shape[0], dtype=np.int64)
+    diag_idx = np.empty(n, dtype=np.int64)
+    row_lower: list[np.ndarray] = []  # strictly-lower cols per row
+    row_upper_start: list[int] = []
+    for i in range(n):
+        flo, fhi = f_rowptr[i], f_rowptr[i + 1]
+        frow = f_cols[flo:fhi]
+        olo, ohi = rowptr[i], rowptr[i + 1]
+        pos = np.searchsorted(frow, cols[olo:ohi])
+        orig_map[olo:ohi] = flo + pos
+        d = np.searchsorted(frow, i)
+        if d == fhi - flo or frow[d] != i:
+            raise ValueError(f"factor row {i} lost its diagonal")
+        diag_idx[i] = flo + d
+        row_lower.append(frow[:d])
+        row_upper_start.append(int(d))
+
+    schedule = build_levels(f_rowptr, f_cols)
+
+    # Backward (upper) dependency levels: row i depends on rows j > i that
+    # appear in its upper part.  Build by scanning rows in reverse.
+    level_back = np.zeros(n, dtype=np.int64)
+    for i in range(n - 1, -1, -1):
+        flo, fhi = f_rowptr[i], f_rowptr[i + 1]
+        upper = f_cols[flo + row_upper_start[i] + 1 : fhi]
+        if upper.shape[0]:
+            level_back[i] = level_back[upper].max() + 1
+    order = np.argsort(level_back, kind="stable")
+    nb_lv = int(level_back.max()) + 1 if n else 0
+    bounds = np.searchsorted(level_back[order], np.arange(nb_lv + 1))
+    schedule_back = LevelSchedule(
+        level_of=level_back,
+        levels=[order[bounds[l] : bounds[l + 1]] for l in range(nb_lv)],
+    )
+
+    # ---- numeric-factorization step batches --------------------------------
+    steps: list[list[_StepBatch]] = []
+    for rows in schedule.levels:
+        max_low = max((row_lower[i].shape[0] for i in rows), default=0)
+        level_steps: list[_StepBatch] = []
+        for p in range(max_low):
+            lik_idx, krow = [], []
+            t_entry, t_dest, t_ukj = [], [], []
+            for i in rows:
+                low = row_lower[i]
+                if p >= low.shape[0]:
+                    continue
+                k = int(low[p])
+                flo, fhi = f_rowptr[i], f_rowptr[i + 1]
+                frow = f_cols[flo:fhi]
+                lik = flo + p  # lower entries are the row prefix
+                entry = len(lik_idx)
+                lik_idx.append(lik)
+                krow.append(k)
+                # update A_ij -= L_ik * U_kj for j in (row k beyond k) ∩ row i
+                klo, khi = f_rowptr[k], f_rowptr[k + 1]
+                kcols = f_cols[klo:khi]
+                kstart = np.searchsorted(kcols, k + 1)
+                kj = kcols[kstart:]
+                pos_i = np.searchsorted(frow, kj)
+                valid = (pos_i < frow.shape[0]) & (frow[np.minimum(pos_i, frow.shape[0] - 1)] == kj)
+                # also only columns j > k matter; all kj satisfy that
+                for q in np.where(valid)[0]:
+                    t_entry.append(entry)
+                    t_dest.append(flo + pos_i[q])
+                    t_ukj.append(klo + kstart + q)
+            level_steps.append(
+                _StepBatch(
+                    lik_idx=np.asarray(lik_idx, dtype=np.int64),
+                    krow=np.asarray(krow, dtype=np.int64),
+                    t_entry=np.asarray(t_entry, dtype=np.int64),
+                    t_dest=np.asarray(t_dest, dtype=np.int64),
+                    t_ukj=np.asarray(t_ukj, dtype=np.int64),
+                )
+            )
+        steps.append(level_steps)
+
+    # ---- triangular-solve pair lists ---------------------------------------
+    fwd_pairs: list[_LevelPairs] = []
+    for rows in schedule.levels:
+        pr, pb, pc = [], [], []
+        for i in rows:
+            flo = f_rowptr[i]
+            low = row_lower[i]
+            for p in range(low.shape[0]):
+                pr.append(i)
+                pb.append(flo + p)
+                pc.append(int(low[p]))
+        fwd_pairs.append(
+            _LevelPairs(
+                rows=np.asarray(rows, dtype=np.int64),
+                pair_row=np.asarray(pr, dtype=np.int64),
+                pair_blk=np.asarray(pb, dtype=np.int64),
+                pair_col=np.asarray(pc, dtype=np.int64),
+            )
+        )
+    bwd_pairs: list[_LevelPairs] = []
+    for rows in schedule_back.levels:
+        pr, pb, pc = [], [], []
+        for i in rows:
+            flo, fhi = f_rowptr[i], f_rowptr[i + 1]
+            start = row_upper_start[i] + 1
+            for p in range(start, fhi - flo):
+                pr.append(i)
+                pb.append(flo + p)
+                pc.append(int(f_cols[flo + p]))
+        bwd_pairs.append(
+            _LevelPairs(
+                rows=np.asarray(rows, dtype=np.int64),
+                pair_row=np.asarray(pr, dtype=np.int64),
+                pair_blk=np.asarray(pb, dtype=np.int64),
+                pair_col=np.asarray(pc, dtype=np.int64),
+            )
+        )
+
+    return ILUPlan(
+        n=n,
+        b=b,
+        fill_level=fill_level,
+        rowptr=f_rowptr,
+        cols=f_cols,
+        diag_idx=diag_idx,
+        orig_map=orig_map,
+        schedule=schedule,
+        schedule_back=schedule_back,
+        steps=steps,
+        fwd_pairs=fwd_pairs,
+        bwd_pairs=bwd_pairs,
+    )
+
+
+def ilu_factorize(matrix: BCSRMatrix, plan: ILUPlan) -> ILUFactor:
+    """Numeric block ILU factorization following ``plan``.
+
+    Row updates run level by level; within a level, position-p batches are
+    sequential but each batch is one set of batched 4x4 multiplies.  The
+    factored values overwrite a scattered copy of the matrix; diagonal
+    blocks are inverted and stored (multiplicative application in TRSV).
+    """
+    if matrix.vals.shape[1] != plan.b:
+        raise ValueError("block size mismatch between matrix and plan")
+    vals = np.zeros((plan.factor_nnzb, plan.b, plan.b))
+    vals[plan.orig_map] = matrix.vals
+    diag_inv = np.zeros((plan.n, plan.b, plan.b))
+
+    for rows, level_steps in zip(plan.schedule.levels, plan.steps):
+        for sb in level_steps:
+            if sb.lik_idx.shape[0] == 0:
+                continue
+            lik = np.einsum(
+                "nij,njk->nik", vals[sb.lik_idx], diag_inv[sb.krow]
+            )
+            vals[sb.lik_idx] = lik
+            if sb.t_dest.shape[0]:
+                upd = np.einsum(
+                    "nij,njk->nik", lik[sb.t_entry], vals[sb.t_ukj]
+                )
+                # destinations are unique within a batch (one row can only
+                # be touched via its own (i,k) pair, and each pair hits
+                # distinct columns), so in-place subtract is exact.
+                vals[sb.t_dest] -= upd
+        dblocks = vals[plan.diag_idx[rows]]
+        diag_inv[rows] = np.linalg.inv(dblocks)
+
+    return ILUFactor(plan=plan, vals=vals, diag_inv=diag_inv)

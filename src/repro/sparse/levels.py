@@ -1,0 +1,112 @@
+"""Level scheduling of sparse triangular dependency graphs.
+
+The sparse recurrences (ILU factorization, forward/backward substitution)
+have limited parallelism: row i depends on every row k < i with a nonzero
+L(i, k).  Level scheduling [Anderson & Saad 1989; Naumov 2011] groups rows
+into *wavefronts* — all rows of a level depend only on earlier levels and can
+run concurrently, with a barrier between levels.
+
+This module builds level structures and computes the paper's *available
+parallelism* metric: the ratio of total floating-point work to the work along
+the longest dependency path (Table II reports 248x for ILU-0 vs 60x for
+ILU-1 on Mesh-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LevelSchedule",
+    "build_levels",
+    "row_flops",
+    "available_parallelism",
+]
+
+
+@dataclass
+class LevelSchedule:
+    """Rows grouped into dependency wavefronts.
+
+    ``level_of[i]`` is row i's level; ``levels[l]`` lists the rows of level
+    ``l`` in ascending order.
+    """
+
+    level_of: np.ndarray
+    levels: list[np.ndarray]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def widths(self) -> np.ndarray:
+        return np.array([lvl.shape[0] for lvl in self.levels], dtype=np.int64)
+
+
+def build_levels(rowptr: np.ndarray, cols: np.ndarray) -> LevelSchedule:
+    """Level schedule of the lower-triangular part of a sorted-CSR pattern.
+
+    ``level_of[i] = 1 + max(level_of[k] for k in lower(i))`` (0 if no lower
+    neighbors).  Because ``cols`` are sorted and dependencies point strictly
+    downward in index, a single forward sweep suffices.
+    """
+    n = rowptr.shape[0] - 1
+    level_of = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        lo, hi = rowptr[i], rowptr[i + 1]
+        row = cols[lo:hi]
+        nlower = np.searchsorted(row, i)
+        if nlower:
+            level_of[i] = level_of[row[:nlower]].max() + 1
+    order = np.argsort(level_of, kind="stable")
+    sorted_lv = level_of[order]
+    n_levels = int(level_of.max()) + 1 if n else 0
+    bounds = np.searchsorted(sorted_lv, np.arange(n_levels + 1))
+    levels = [order[bounds[l] : bounds[l + 1]] for l in range(n_levels)]
+    return LevelSchedule(level_of=level_of, levels=levels)
+
+
+def row_flops(rowptr: np.ndarray, cols: np.ndarray, b: int = 4) -> np.ndarray:
+    """Estimated flops to factor/solve each row with ``b x b`` blocks.
+
+    Uses the ILU row-update cost: each strictly-lower block triggers one
+    block-by-inverse multiply plus one rank-update per remaining pattern
+    entry of the pivot row; approximated as ``2 b^3`` per lower block times
+    the average row it touches, plus a diagonal inversion.  The metric only
+    needs relative weights, so the approximation is shared by numerator and
+    denominator.
+    """
+    n = rowptr.shape[0] - 1
+    flops = np.empty(n)
+    for i in range(n):
+        lo, hi = rowptr[i], rowptr[i + 1]
+        row = cols[lo:hi]
+        nlower = np.searchsorted(row, i)
+        rowlen = hi - lo
+        flops[i] = 2.0 * b**3 * (nlower * max(rowlen - 1, 1) + 1)
+    return flops
+
+
+def available_parallelism(
+    rowptr: np.ndarray, cols: np.ndarray, b: int = 4
+) -> float:
+    """Total work / longest-dependency-path work (the paper's metric).
+
+    ``path[i] = flops[i] + max(path[k] for k in lower(i))``; parallelism =
+    ``sum(flops) / max(path)``.  Falls to 1.0 for a dense lower triangle and
+    approaches n for a diagonal matrix.
+    """
+    n = rowptr.shape[0] - 1
+    if n == 0:
+        return 1.0
+    flops = row_flops(rowptr, cols, b)
+    path = np.zeros(n)
+    for i in range(n):
+        lo, hi = rowptr[i], rowptr[i + 1]
+        row = cols[lo:hi]
+        nlower = np.searchsorted(row, i)
+        longest = path[row[:nlower]].max() if nlower else 0.0
+        path[i] = flops[i] + longest
+    return float(flops.sum() / path.max())

@@ -1,0 +1,93 @@
+"""Blocked sparse triangular solves (the paper's TRSV / MatSolve kernel).
+
+Applies ILU factors: forward substitution on unit-lower L, then backward
+substitution on U using the stored *inverted* diagonal blocks — per nonzero
+block the kernel is a 4x4 matrix times 4-vector multiply with streaming
+access and no reuse across blocks, which is why the paper measures it
+reaching 94% of STREAM bandwidth.
+
+Two implementations:
+
+* :func:`trsv_solve` — level-scheduled and fully vectorized (one gather /
+  einsum / scatter per wavefront), numerically identical to sequential.
+* :func:`trsv_solve_sequential` — the plain row loop, kept as the reference
+  the vectorized path is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ilu import ILUFactor
+
+__all__ = ["trsv_solve", "trsv_solve_sequential"]
+
+
+def trsv_solve(factor: ILUFactor, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``L U x = rhs`` with level-scheduled batched block ops.
+
+    ``rhs`` may be ``(n, b)`` or flat ``(n*b,)``; the result matches.
+    """
+    plan = factor.plan
+    flat = rhs.ndim == 1
+    b = rhs.reshape(plan.n, plan.b)
+    vals, diag_inv = factor.vals, factor.diag_inv
+
+    # forward: y_i = b_i - sum_k L_ik y_k
+    y = np.zeros_like(b)
+    for lp in plan.fwd_pairs:
+        if lp.pair_blk.shape[0]:
+            contrib = np.einsum(
+                "nij,nj->ni", vals[lp.pair_blk], y[lp.pair_col]
+            )
+            acc = np.zeros_like(b)
+            np.add.at(acc, lp.pair_row, contrib)
+            y[lp.rows] = b[lp.rows] - acc[lp.rows]
+        else:
+            y[lp.rows] = b[lp.rows]
+
+    # backward: x_i = inv(U_ii) (y_i - sum_{j>i} U_ij x_j)
+    x = np.zeros_like(b)
+    for lp in plan.bwd_pairs:
+        if lp.pair_blk.shape[0]:
+            contrib = np.einsum(
+                "nij,nj->ni", vals[lp.pair_blk], x[lp.pair_col]
+            )
+            acc = np.zeros_like(b)
+            np.add.at(acc, lp.pair_row, contrib)
+            rows = lp.rows
+            x[rows] = np.einsum(
+                "nij,nj->ni", diag_inv[rows], y[rows] - acc[rows]
+            )
+        else:
+            rows = lp.rows
+            x[rows] = np.einsum("nij,nj->ni", diag_inv[rows], y[rows])
+
+    return x.reshape(-1) if flat else x
+
+
+def trsv_solve_sequential(factor: ILUFactor, rhs: np.ndarray) -> np.ndarray:
+    """Plain sequential forward/backward substitution (reference)."""
+    plan = factor.plan
+    flat = rhs.ndim == 1
+    bvec = rhs.reshape(plan.n, plan.b)
+    vals, diag_inv = factor.vals, factor.diag_inv
+    rowptr, cols, diag_idx = plan.rowptr, plan.cols, plan.diag_idx
+
+    y = np.zeros_like(bvec)
+    for i in range(plan.n):
+        lo = rowptr[i]
+        d = diag_idx[i]
+        acc = bvec[i].copy()
+        for p in range(lo, d):
+            acc -= vals[p] @ y[cols[p]]
+        y[i] = acc
+    x = np.zeros_like(bvec)
+    for i in range(plan.n - 1, -1, -1):
+        hi = rowptr[i + 1]
+        d = diag_idx[i]
+        acc = y[i].copy()
+        for p in range(d + 1, hi):
+            acc -= vals[p] @ x[cols[p]]
+        x[i] = diag_inv[i] @ acc
+    return x.reshape(-1) if flat else x

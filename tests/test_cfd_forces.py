@@ -1,0 +1,61 @@
+"""Tests for aerodynamic force integration."""
+
+import numpy as np
+import pytest
+
+from repro.cfd import FlowConfig, FlowField, integrate_forces
+from repro.mesh import box_mesh, wing_mesh
+from repro.solver import SolverOptions, solve_steady
+
+
+@pytest.fixture(scope="module")
+def wing_field():
+    return FlowField(wing_mesh(n_around=20, n_radial=6, n_span=5))
+
+
+class TestIntegrateForces:
+    def test_uniform_pressure_zero_force(self, wing_field):
+        # constant pressure over a closed-ish surface: the wing surface is
+        # closed in x-y (O-grid), so the pressure integral's x and y
+        # components vanish
+        cfg = FlowConfig()
+        q = wing_field.initial_state(cfg)
+        q[:, 0] = 7.0
+        f = integrate_forces(wing_field, q, cfg)
+        # wall normals of a closed section sum to ~0 in the section plane
+        assert abs(f.force[0]) < 1e-8 * 7.0 * wing_field.n_vertices
+        assert abs(f.force[1]) < 1e-8 * 7.0 * wing_field.n_vertices
+
+    def test_positive_lift_at_incidence(self, wing_field):
+        cfg = FlowConfig(aoa_deg=3.0)
+        res = solve_steady(wing_field, cfg, SolverOptions(max_steps=40))
+        assert res.converged
+        f = integrate_forces(wing_field, res.q, cfg)
+        assert f.cl > 0.02
+
+    def test_symmetric_section_no_lift_at_zero_aoa(self, wing_field):
+        cfg = FlowConfig(aoa_deg=0.0)
+        res = solve_steady(wing_field, cfg, SolverOptions(max_steps=40))
+        assert res.converged
+        f = integrate_forces(wing_field, res.q, cfg)
+        assert abs(f.cl) < 0.02
+
+    def test_lift_grows_with_aoa(self, wing_field):
+        cls = []
+        for aoa in (1.0, 4.0):
+            cfg = FlowConfig(aoa_deg=aoa)
+            res = solve_steady(wing_field, cfg, SolverOptions(max_steps=40))
+            assert res.converged
+            cls.append(integrate_forces(wing_field, res.q, cfg).cl)
+        assert cls[1] > cls[0]
+
+    def test_no_wall_raises(self):
+        field = FlowField(box_mesh((3, 3, 3)))
+        cfg = FlowConfig()
+        with pytest.raises(ValueError):
+            integrate_forces(field, field.initial_state(cfg), cfg)
+
+    def test_reference_area_positive(self, wing_field):
+        cfg = FlowConfig()
+        f = integrate_forces(wing_field, wing_field.initial_state(cfg), cfg)
+        assert f.reference_area > 0

@@ -1,0 +1,154 @@
+"""Tests for the characteristic (Roe-type) matrix dissipation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd import (
+    FlowConfig,
+    FlowField,
+    abs_flux_jacobian,
+    analytic_flux_jacobian,
+    characteristic_edge_flux,
+    compute_residual,
+    numerical_edge_flux,
+    pointwise_flux,
+    residual_norm,
+    rusanov_edge_flux,
+)
+from repro.mesh import box_mesh, wing_mesh
+from repro.solver import SolverOptions, solve_steady
+
+
+def numerical_abs(A):
+    w, V = np.linalg.eig(A)
+    return (V @ np.diag(np.abs(w)) @ np.linalg.inv(V)).real
+
+
+class TestAbsJacobian:
+    def test_matches_eigendecomposition(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(40, 4))
+        S = rng.normal(size=(40, 3))
+        absA = abs_flux_jacobian(q, S, 4.0)
+        A = analytic_flux_jacobian(q, S, 4.0)
+        for i in range(40):
+            np.testing.assert_allclose(
+                absA[i], numerical_abs(A[i]), rtol=1e-9, atol=1e-10
+            )
+
+    def test_positive_semidefinite_spectrum(self):
+        rng = np.random.default_rng(1)
+        q = rng.normal(size=(20, 4))
+        S = rng.normal(size=(20, 3))
+        absA = abs_flux_jacobian(q, S, 4.0)
+        for i in range(20):
+            w = np.linalg.eigvals(absA[i])
+            assert np.all(w.real > -1e-10)
+
+    def test_supersonic_like_reduces_to_A(self):
+        # when Theta > c is impossible for AC (c > |Theta| always), but for
+        # Theta >> sqrt(beta)|S| the flow-aligned eigenvalues dominate and
+        # |A| ~ A for positive Theta up to the c-Theta gap; instead test the
+        # exact identity |A| == A when all eigenvalues are positive can't
+        # occur, so verify |A| >= dissipation of rusanov is FALSE:
+        # characteristic dissipation never exceeds spectral-radius
+        # dissipation in induced norm.
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(20, 4))
+        S = rng.normal(size=(20, 3))
+        absA = abs_flux_jacobian(q, S, 4.0)
+        from repro.cfd import edge_spectral_radius
+
+        lam = edge_spectral_radius(q, q, S, 4.0)
+        for i in range(20):
+            # spectral radius of |A| equals lambda_max of A
+            r = np.abs(np.linalg.eigvals(absA[i])).max()
+            assert r <= lam[i] * (1 + 1e-9)
+
+    def test_zero_area_face(self):
+        q = np.array([[1.0, 2.0, 3.0, 4.0]])
+        S = np.zeros((1, 3))
+        absA = abs_flux_jacobian(q, S, 4.0)
+        np.testing.assert_allclose(absA, 0.0)
+
+
+class TestCharacteristicFlux:
+    def test_consistency(self):
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(25, 4))
+        S = rng.normal(size=(25, 3))
+        np.testing.assert_allclose(
+            characteristic_edge_flux(q, q, S, 4.0),
+            pointwise_flux(q, S, 4.0),
+            atol=1e-12,
+        )
+
+    def test_less_dissipative_than_rusanov(self):
+        rng = np.random.default_rng(4)
+        ql = rng.normal(size=(30, 4))
+        qr = ql + 0.1 * rng.normal(size=(30, 4))
+        S = rng.normal(size=(30, 3))
+        central = 0.5 * (pointwise_flux(ql, S, 4.0) + pointwise_flux(qr, S, 4.0))
+        d_roe = np.linalg.norm(
+            characteristic_edge_flux(ql, qr, S, 4.0) - central, axis=1
+        )
+        d_rus = np.linalg.norm(
+            rusanov_edge_flux(ql, qr, S, 4.0) - central, axis=1
+        )
+        assert d_roe.sum() < d_rus.sum()
+
+    def test_dispatch(self):
+        rng = np.random.default_rng(5)
+        ql = rng.normal(size=(10, 4))
+        qr = rng.normal(size=(10, 4))
+        S = rng.normal(size=(10, 3))
+        np.testing.assert_allclose(
+            numerical_edge_flux(ql, qr, S, 4.0, "roe"),
+            characteristic_edge_flux(ql, qr, S, 4.0),
+        )
+        with pytest.raises(ValueError):
+            numerical_edge_flux(ql, qr, S, 4.0, "bogus")
+
+    def test_freestream_preservation(self):
+        field = FlowField(box_mesh((4, 4, 4), jitter=0.1, seed=6))
+        cfg = FlowConfig(dissipation="roe")
+        q = field.initial_state(cfg)
+        assert residual_norm(compute_residual(field, q, cfg)) < 1e-13
+
+    def test_steady_solve_converges(self):
+        field = FlowField(wing_mesh(n_around=16, n_radial=5, n_span=4))
+        cfg = FlowConfig(dissipation="roe")
+        res = solve_steady(field, cfg, SolverOptions(max_steps=50))
+        assert res.converged
+
+    def test_roe_less_spurious_drag(self):
+        # characteristic dissipation should cut the numerical drag of the
+        # inviscid solution relative to Rusanov
+        from repro.cfd import integrate_forces
+
+        field = FlowField(wing_mesh(n_around=20, n_radial=6, n_span=5))
+        cds = {}
+        for scheme in ("rusanov", "roe"):
+            cfg = FlowConfig(dissipation=scheme)
+            res = solve_steady(field, cfg, SolverOptions(max_steps=50))
+            assert res.converged
+            cds[scheme] = integrate_forces(field, res.q, cfg).cd
+        assert cds["roe"] < cds["rusanov"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100), beta=st.floats(0.5, 20.0))
+def test_abs_jacobian_property(seed, beta):
+    """Property: the matrix-polynomial |A| matches the eigen-decomposition
+    for arbitrary states, normals and beta."""
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(10, 4))
+    S = rng.normal(size=(10, 3)) + 0.1
+    absA = abs_flux_jacobian(q, S, beta)
+    A = analytic_flux_jacobian(q, S, beta)
+    for i in range(10):
+        np.testing.assert_allclose(
+            absA[i], numerical_abs(A[i]), rtol=1e-8, atol=1e-9
+        )

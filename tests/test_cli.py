@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.dataset == "mesh-c"
+        assert args.ilu == 1
+        assert args.dissipation == "rusanov"
+
+    def test_scaling_nodes_list(self):
+        args = build_parser().parse_args(["scaling", "--nodes", "1", "8"])
+        assert args.nodes == [1, 8]
+
+
+class TestCommands:
+    def test_mesh_info(self, capsys):
+        rc = main(["mesh-info", "--scale", "0.04"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MeshReport[OK]" in out
+
+    def test_mesh_info_wing(self, capsys):
+        rc = main(["mesh-info", "--dataset", "wing", "--scale", "0.05"])
+        assert rc == 0
+
+    def test_solve(self, capsys):
+        rc = main(["solve", "--scale", "0.02", "--max-steps", "60"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged=True" in out
+        assert "CL=" in out
+
+    def test_solve_roe(self, capsys):
+        rc = main([
+            "solve", "--scale", "0.02", "--dissipation", "roe",
+            "--max-steps", "60",
+        ])
+        assert rc == 0
+
+    def test_speedup(self, capsys):
+        rc = main(["speedup", "--scale", "0.02"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "paper-scale" in out
+
+    def test_scaling(self, capsys):
+        rc = main(["scaling", "--nodes", "1", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "strong scaling" in out
+
+    def test_scaling_pipelined(self, capsys):
+        rc = main(["scaling", "--nodes", "64", "--pipelined"])
+        assert rc == 0
+
+    def test_partition(self, capsys):
+        rc = main(["partition", "--scale", "0.04", "--parts", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "multilevel" in out

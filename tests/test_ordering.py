@@ -1,0 +1,142 @@
+"""Tests for RCM, edge coloring and ordering metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import (
+    box_mesh,
+    build_vertex_adjacency,
+    delaunay_cloud_mesh,
+    validate_mesh,
+    wing_mesh,
+)
+from repro.ordering import (
+    bandwidth,
+    color_groups,
+    cuthill_mckee,
+    edge_span,
+    greedy_edge_coloring,
+    ordering_report,
+    pseudo_peripheral_vertex,
+    rcm_relabel,
+    reverse_cuthill_mckee,
+    verify_edge_coloring,
+)
+
+
+def path_graph(n):
+    edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+    return build_vertex_adjacency(edges, n), edges
+
+
+class TestRCM:
+    def test_is_permutation(self):
+        m = box_mesh((4, 4, 4))
+        rowptr, cols = m.adjacency
+        order = reverse_cuthill_mckee(rowptr, cols)
+        assert np.array_equal(np.sort(order), np.arange(m.n_vertices))
+
+    def test_path_graph_bandwidth_one(self):
+        (rowptr, cols), edges = path_graph(10)
+        order = reverse_cuthill_mckee(rowptr, cols)
+        perm = np.empty_like(order)
+        perm[order] = np.arange(10)
+        new_edges = perm[edges]
+        assert bandwidth(new_edges) == 1
+
+    def test_reduces_bandwidth_on_scrambled_mesh(self):
+        m = box_mesh((6, 6, 6))
+        rng = np.random.default_rng(3)
+        scrambled = m.relabeled(rng.permutation(m.n_vertices))
+        b_before = bandwidth(scrambled.edges)
+        r = rcm_relabel(scrambled)
+        b_after = bandwidth(r.edges)
+        assert b_after < b_before / 3
+
+    def test_rcm_reverses_cm(self):
+        m = box_mesh((3, 3, 3))
+        rowptr, cols = m.adjacency
+        cm = cuthill_mckee(rowptr, cols)
+        rcm = reverse_cuthill_mckee(rowptr, cols)
+        np.testing.assert_array_equal(rcm, cm[::-1])
+
+    def test_disconnected_graph(self):
+        # two disjoint path components
+        edges = np.array([[0, 1], [1, 2], [3, 4], [4, 5]])
+        rowptr, cols = build_vertex_adjacency(edges, 6)
+        order = reverse_cuthill_mckee(rowptr, cols)
+        assert np.array_equal(np.sort(order), np.arange(6))
+
+    def test_pseudo_peripheral_on_path(self):
+        (rowptr, cols), _ = path_graph(15)
+        v = pseudo_peripheral_vertex(rowptr, cols, start=7)
+        assert v in (0, 14)
+
+    def test_rcm_relabel_preserves_mesh(self):
+        m = wing_mesh(n_around=16, n_radial=5, n_span=4)
+        r = rcm_relabel(m)
+        assert validate_mesh(r).ok
+        assert r.n_edges == m.n_edges
+
+
+class TestColoring:
+    def test_valid_on_meshes(self):
+        m = box_mesh((4, 4, 4))
+        colors = greedy_edge_coloring(m.edges, m.n_vertices)
+        assert verify_edge_coloring(m.edges, colors, m.n_vertices)
+
+    def test_color_count_bounded(self):
+        m = delaunay_cloud_mesh(150, seed=1)
+        rowptr, _ = m.adjacency
+        max_deg = int((rowptr[1:] - rowptr[:-1]).max())
+        colors = greedy_edge_coloring(m.edges, m.n_vertices)
+        assert colors.max() + 1 <= 2 * max_deg - 1
+
+    def test_groups_partition_edges(self):
+        m = box_mesh((4, 3, 3))
+        colors = greedy_edge_coloring(m.edges, m.n_vertices)
+        groups = color_groups(colors)
+        allidx = np.concatenate(groups)
+        assert np.array_equal(np.sort(allidx), np.arange(m.n_edges))
+
+    def test_verify_detects_conflict(self):
+        edges = np.array([[0, 1], [1, 2]])
+        colors = np.array([0, 0])
+        assert not verify_edge_coloring(edges, colors, 3)
+
+
+class TestMetrics:
+    def test_bandwidth_empty(self):
+        assert bandwidth(np.zeros((0, 2), dtype=np.int64)) == 0
+
+    def test_edge_span_path(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        assert edge_span(edges) == 1.0
+
+    def test_report_keys(self):
+        m = box_mesh((3, 3, 3))
+        rep = ordering_report(m.edges, m.n_vertices)
+        assert set(rep) == {"bandwidth", "edge_span", "relative_bandwidth"}
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(60, 200), seed=st.integers(0, 50))
+def test_rcm_never_increases_bandwidth_much(n, seed):
+    """Property: RCM on a random-cloud mesh yields a valid permutation and a
+    bandwidth no worse than the scrambled ordering."""
+    m = delaunay_cloud_mesh(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    scrambled = m.relabeled(rng.permutation(m.n_vertices))
+    r = rcm_relabel(scrambled)
+    assert bandwidth(r.edges) <= bandwidth(scrambled.edges)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(40, 150), seed=st.integers(0, 50))
+def test_coloring_property(n, seed):
+    """Property: greedy edge coloring is always conflict-free."""
+    m = delaunay_cloud_mesh(n, seed=seed)
+    colors = greedy_edge_coloring(m.edges, m.n_vertices)
+    assert verify_edge_coloring(m.edges, colors, m.n_vertices)

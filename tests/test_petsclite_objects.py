@@ -1,0 +1,189 @@
+"""Tests for the PETSc-style object layer (Vec, Mat, PC, KSP, OptionsDB)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import box_mesh
+from repro.partition import natural_partition
+from repro.perf import PerfRegistry, use_registry
+from repro.petsclite import KSP, PC, Mat, OptionsDB, Vec
+from repro.sparse import BCSRMatrix
+
+
+def dd_matrix(mesh, b=4, seed=0, shift=8.0):
+    A = BCSRMatrix.from_mesh_edges(mesh.edges, mesh.n_vertices, b=b)
+    rng = np.random.default_rng(seed)
+    A.vals[:] = rng.normal(size=A.vals.shape) * 0.1
+    A.add_to_diagonal(shift)
+    return A
+
+
+class TestVec:
+    def test_create_and_size(self):
+        v = Vec.create(7)
+        assert v.size == 7
+        np.testing.assert_allclose(v.array, 0.0)
+
+    def test_norm_dot(self):
+        v = Vec(np.array([3.0, 4.0]))
+        assert v.norm() == pytest.approx(5.0)
+        assert v.dot(Vec(np.array([1.0, 1.0]))) == pytest.approx(7.0)
+
+    def test_axpy_chain(self):
+        v = Vec(np.ones(3))
+        v.axpy(2.0, Vec(np.ones(3))).scale(0.5)
+        np.testing.assert_allclose(v.array, 1.5)
+
+    def test_copy_independent(self):
+        v = Vec(np.ones(3))
+        c = v.copy()
+        v.set(0.0)
+        np.testing.assert_allclose(c.array, 1.0)
+
+    def test_operations_instrumented(self):
+        reg = PerfRegistry()
+        with use_registry(reg):
+            v = Vec(np.ones(10))
+            v.norm()
+            v.dot(v)
+        assert reg.records["VecNorm"].calls == 1
+        assert reg.records["VecDot"].calls == 1
+
+
+class TestMat:
+    def test_from_bcsr_mult(self):
+        m = box_mesh((3, 3, 3))
+        A = dd_matrix(m)
+        mat = Mat.from_bcsr(A)
+        x = Vec(np.ones(A.shape[0]))
+        y = mat.mult(x)
+        np.testing.assert_allclose(y.array, A.matvec(x.array))
+        assert not mat.is_shell
+
+    def test_shell(self):
+        mat = Mat.shell(4, lambda v: 2.0 * v)
+        y = mat.mult(Vec(np.arange(4.0)))
+        np.testing.assert_allclose(y.array, 2.0 * np.arange(4.0))
+        assert mat.is_shell
+
+    def test_mult_into_existing(self):
+        mat = Mat.shell(3, lambda v: v + 1)
+        y = Vec.create(3)
+        mat.mult(Vec(np.zeros(3)), y)
+        np.testing.assert_allclose(y.array, 1.0)
+
+
+class TestPC:
+    def test_none_is_identity(self):
+        pc = PC(type="none")
+        pc.setup(Mat.shell(3, lambda v: v))
+        x = np.arange(3.0)
+        np.testing.assert_allclose(pc.apply(x), x)
+
+    def test_ilu_preconditioner(self):
+        m = box_mesh((3, 3, 4))
+        A = dd_matrix(m)
+        pc = PC(type="ilu")
+        pc.setup(Mat.from_bcsr(A))
+        rng = np.random.default_rng(1)
+        r = rng.normal(size=A.shape[0])
+        z = pc.apply(r)
+        assert np.linalg.norm(r - A.matvec(z)) < 0.1 * np.linalg.norm(r)
+
+    def test_asm_with_labels(self):
+        m = box_mesh((4, 4, 4))
+        A = dd_matrix(m, seed=2)
+        pc = PC(type="asm", overlap=1, labels=natural_partition(m.n_vertices, 4))
+        pc.setup(Mat.from_bcsr(A))
+        z = pc.apply(np.ones(A.shape[0]))
+        assert np.all(np.isfinite(z))
+
+    def test_shell_matrix_rejected(self):
+        pc = PC(type="ilu")
+        with pytest.raises(ValueError):
+            pc.setup(Mat.shell(4, lambda v: v))
+
+    def test_unknown_type(self):
+        m = box_mesh((3, 3, 3))
+        pc = PC(type="magic")
+        with pytest.raises(ValueError):
+            pc.setup(Mat.from_bcsr(dd_matrix(m)))
+
+
+class TestKSP:
+    def test_solve_bcsr_system(self):
+        m = box_mesh((3, 3, 4))
+        A = dd_matrix(m, seed=3)
+        ksp = KSP(rtol=1e-10, pc=PC(type="ilu"))
+        ksp.set_operators(Mat.from_bcsr(A))
+        ksp.setup()
+        rng = np.random.default_rng(4)
+        x_true = rng.normal(size=A.shape[0])
+        b = Vec(A.matvec(x_true))
+        x, result = ksp.solve(b)
+        assert result.converged
+        np.testing.assert_allclose(x.array, x_true, rtol=1e-6, atol=1e-7)
+
+    def test_shell_operator_with_assembled_pmat(self):
+        # the paper's configuration: matrix-free A, assembled first-order P
+        m = box_mesh((3, 3, 3))
+        A = dd_matrix(m, seed=5)
+        amat = Mat.shell(A.shape[0], A.matvec)
+        ksp = KSP(rtol=1e-9, pc=PC(type="ilu"))
+        ksp.set_operators(amat, Mat.from_bcsr(A))
+        ksp.setup()
+        b = Vec(np.ones(A.shape[0]))
+        x, result = ksp.solve(b)
+        assert result.converged
+
+    def test_solve_before_setup_raises(self):
+        ksp = KSP()
+        with pytest.raises(RuntimeError):
+            ksp.solve(Vec.create(3))
+
+    def test_ilu_cuts_iterations(self):
+        m = box_mesh((4, 4, 4))
+        A = dd_matrix(m, seed=6, shift=3.0)
+        b = Vec(np.ones(A.shape[0]))
+
+        def run(pc_type):
+            ksp = KSP(rtol=1e-8, max_it=500, pc=PC(type=pc_type))
+            ksp.set_operators(Mat.from_bcsr(A))
+            ksp.setup()
+            _, res = ksp.solve(b)
+            assert res.converged
+            return res.iterations
+
+        assert run("ilu") < run("none")
+
+
+class TestOptionsDB:
+    def test_parse_values_and_flags(self):
+        db = OptionsDB("-ksp_rtol 1e-6 -pc_type asm -snes_monitor")
+        assert db.get_float("ksp_rtol") == pytest.approx(1e-6)
+        assert db.get_str("pc_type") == "asm"
+        assert db.get_bool("snes_monitor")
+        assert not db.get_bool("missing")
+        assert "pc_type" in db
+
+    def test_kwargs(self):
+        db = OptionsDB(pc_asm_overlap=2)
+        assert db.get_int("pc_asm_overlap") == 2
+
+    def test_bad_spec(self):
+        with pytest.raises(ValueError):
+            OptionsDB("ksp_rtol 1e-6")
+
+    def test_ksp_set_from_options(self):
+        ksp = KSP()
+        ksp.set_from_options(
+            OptionsDB(
+                "-ksp_rtol 1e-7 -ksp_gmres_restart 50 -pc_type asm "
+                "-pc_asm_overlap 2 -pc_factor_levels 1"
+            )
+        )
+        assert ksp.rtol == pytest.approx(1e-7)
+        assert ksp.restart == 50
+        assert ksp.pc.type == "asm"
+        assert ksp.pc.overlap == 2
+        assert ksp.pc.fill_level == 1

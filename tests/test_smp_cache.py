@@ -1,0 +1,92 @@
+"""Tests for the trace-driven cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import wing_mesh
+from repro.ordering import rcm_relabel
+from repro.smp.cache import (
+    CacheSim,
+    edge_loop_trace,
+    simulate_edge_loop,
+)
+
+
+class TestCacheSim:
+    def test_cold_misses(self):
+        sim = CacheSim(1024, line_bytes=64, assoc=2)
+        sim.access_lines(np.arange(8))
+        st = sim.stats()
+        assert st.misses == 8
+        assert st.accesses == 8
+
+    def test_rereference_hits(self):
+        sim = CacheSim(4096, line_bytes=64, assoc=8)
+        sim.access_lines(np.array([1, 2, 3, 1, 2, 3]))
+        assert sim.stats().misses == 3
+
+    def test_capacity_eviction(self):
+        # direct-mapped-ish tiny cache: 2 sets x 1 way
+        sim = CacheSim(128, line_bytes=64, assoc=1)
+        # lines 0 and 2 map to set 0 and evict each other
+        sim.access_lines(np.array([0, 2, 0, 2]))
+        assert sim.stats().misses == 4
+
+    def test_lru_order(self):
+        # 1 set, 2 ways: accessing 0,1,0,2 should evict 1 (LRU), not 0
+        sim = CacheSim(128, line_bytes=64, assoc=2)
+        sim.access_lines(np.array([0, 2, 0, 4]))  # all map to set 0
+        sim.access_lines(np.array([0]))  # must still hit
+        assert sim.stats().misses == 3
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(1000, line_bytes=64, assoc=8)
+
+
+class TestEdgeLoopTrace:
+    def test_layouts_differ_in_access_count(self):
+        m = wing_mesh(n_around=12, n_radial=4, n_span=3)
+        t_aos = edge_loop_trace(m.edges, m.n_vertices, "aos")
+        t_soa = edge_loop_trace(m.edges, m.n_vertices, "soa")
+        # SoA touches one line per field per endpoint: many more accesses
+        assert t_soa.shape[0] > 2 * t_aos.shape[0]
+
+    def test_unknown_layout(self):
+        m = wing_mesh(n_around=12, n_radial=4, n_span=3)
+        with pytest.raises(ValueError):
+            edge_loop_trace(m.edges, m.n_vertices, "bogus")
+
+    def test_trace_length_scales_with_edges(self):
+        m = wing_mesh(n_around=12, n_radial=4, n_span=3)
+        t = edge_loop_trace(m.edges, m.n_vertices, "aos")
+        assert t.shape[0] % m.n_edges == 0
+
+
+class TestLayoutReuse:
+    """The paper's cache-analysis claims, measured on real traces."""
+
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return wing_mesh(n_around=28, n_radial=10, n_span=7)
+
+    def test_aos_fewer_misses_per_edge(self, mesh):
+        # AoS packs a vertex's fields into 3 lines; SoA scatters them over
+        # 19 arrays => far more miss traffic per edge at any cache level
+        # where the vertex data does not fit (L1 here)
+        l1 = 32 * 1024
+        soa = simulate_edge_loop(mesh.edges, mesh.n_vertices, "soa", l1)
+        aos = simulate_edge_loop(mesh.edges, mesh.n_vertices, "aos", l1)
+        assert aos.misses / mesh.n_edges < soa.misses / mesh.n_edges
+
+    def test_rcm_improves_reuse(self, mesh):
+        l1 = 32 * 1024
+        nat = simulate_edge_loop(mesh.edges, mesh.n_vertices, "aos", l1)
+        r = rcm_relabel(mesh)
+        rcm = simulate_edge_loop(r.edges, r.n_vertices, "aos", l1)
+        assert rcm.misses < nat.misses
+
+    def test_bigger_cache_fewer_misses(self, mesh):
+        small = simulate_edge_loop(mesh.edges, mesh.n_vertices, "aos", 32 * 1024)
+        big = simulate_edge_loop(mesh.edges, mesh.n_vertices, "aos", 512 * 1024)
+        assert big.misses <= small.misses

@@ -1,0 +1,206 @@
+"""Tests for executable threading strategies: numerics must not change."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd import FlowConfig, FlowField, rusanov_edge_flux, scatter_edge_flux
+from repro.mesh import box_mesh, delaunay_cloud_mesh, wing_mesh
+from repro.smp import (
+    EdgeLoopExecutor,
+    make_edge_loop_options,
+    metis_thread_labels,
+    natural_thread_labels,
+)
+
+
+def flux_compute(field, q, beta):
+    def compute(eidx):
+        return rusanov_edge_flux(
+            q[field.e0[eidx]], q[field.e1[eidx]], field.enormals[eidx], beta
+        )
+
+    return compute
+
+
+@pytest.fixture(scope="module")
+def wing_setup():
+    mesh = wing_mesh(n_around=20, n_radial=6, n_span=5)
+    field = FlowField(mesh)
+    rng = np.random.default_rng(0)
+    q = field.initial_state(FlowConfig()) + 0.05 * rng.normal(
+        size=(field.n_vertices, 4)
+    )
+    return mesh, field, q
+
+
+def sequential_reference(field, q, beta=4.0):
+    flux = rusanov_edge_flux(q[field.e0], q[field.e1], field.enormals, beta)
+    return scatter_edge_flux(flux, field.e0, field.e1, field.n_vertices)
+
+
+class TestExecutorStructure:
+    def test_sequential_single_list(self, wing_setup):
+        mesh, _, _ = wing_setup
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 1, "sequential")
+        assert len(ex._thread_edges) == 1
+        assert ex.edges_per_thread()[0] == mesh.n_edges
+
+    def test_atomic_partitions_edges(self, wing_setup):
+        mesh, _, _ = wing_setup
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 4, "atomic")
+        assert ex.edges_per_thread().sum() == mesh.n_edges
+
+    def test_replicate_covers_all_edges(self, wing_setup):
+        mesh, _, _ = wing_setup
+        labels = natural_thread_labels(mesh.n_vertices, 4)
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 4, "replicate", labels)
+        covered = np.zeros(mesh.n_edges, dtype=int)
+        for eidx in ex._thread_edges:
+            covered[eidx] += 1
+        assert covered.min() >= 1  # every edge processed at least once
+        # cut edges processed exactly twice
+        l0 = labels[mesh.edges[:, 0]]
+        l1 = labels[mesh.edges[:, 1]]
+        np.testing.assert_array_equal(covered, 1 + (l0 != l1))
+
+    def test_replication_fraction_matches_metric(self, wing_setup):
+        mesh, _, _ = wing_setup
+        labels = natural_thread_labels(mesh.n_vertices, 8)
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 8, "replicate", labels)
+        extra = ex.edges_per_thread().sum() - mesh.n_edges
+        assert extra / mesh.n_edges == pytest.approx(ex.replication())
+
+    def test_metis_less_replication_than_natural(self, wing_setup):
+        mesh, _, _ = wing_setup
+        nat = EdgeLoopExecutor(
+            mesh.edges, mesh.n_vertices, 8, "replicate",
+            natural_thread_labels(mesh.n_vertices, 8))
+        met = EdgeLoopExecutor(
+            mesh.edges, mesh.n_vertices, 8, "replicate",
+            metis_thread_labels(mesh.edges, mesh.n_vertices, 8, seed=2))
+        assert met.replication() < nat.replication()
+
+    def test_replicate_requires_labels(self, wing_setup):
+        mesh, _, _ = wing_setup
+        with pytest.raises(ValueError):
+            EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 4, "replicate")
+
+    def test_unknown_strategy(self, wing_setup):
+        mesh, _, _ = wing_setup
+        with pytest.raises(ValueError):
+            EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 4, "bogus")
+
+
+class TestNumericalEquivalence:
+    """The paper's ground rule: every strategy reproduces the sequential
+    result (up to floating-point summation order)."""
+
+    def test_atomic_matches_sequential(self, wing_setup):
+        _, field, q = wing_setup
+        ref = sequential_reference(field, q)
+        ex = EdgeLoopExecutor(field.mesh.edges, field.n_vertices, 7, "atomic")
+        res = ex.execute(flux_compute(field, q, 4.0))
+        np.testing.assert_allclose(res, ref, rtol=1e-12, atol=1e-12)
+
+    def test_natural_replication_matches(self, wing_setup):
+        _, field, q = wing_setup
+        ref = sequential_reference(field, q)
+        labels = natural_thread_labels(field.n_vertices, 6)
+        ex = EdgeLoopExecutor(
+            field.mesh.edges, field.n_vertices, 6, "replicate", labels)
+        res = ex.execute(flux_compute(field, q, 4.0))
+        np.testing.assert_allclose(res, ref, rtol=1e-12, atol=1e-12)
+
+    def test_metis_replication_matches(self, wing_setup):
+        _, field, q = wing_setup
+        ref = sequential_reference(field, q)
+        labels = metis_thread_labels(field.mesh.edges, field.n_vertices, 6, seed=3)
+        ex = EdgeLoopExecutor(
+            field.mesh.edges, field.n_vertices, 6, "replicate", labels)
+        res = ex.execute(flux_compute(field, q, 4.0))
+        np.testing.assert_allclose(res, ref, rtol=1e-12, atol=1e-12)
+
+
+class TestOptionsBuilder:
+    def test_options_carry_structure(self, wing_setup):
+        mesh, _, _ = wing_setup
+        labels = natural_thread_labels(mesh.n_vertices, 4)
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 4, "replicate", labels)
+        opts = make_edge_loop_options(ex, layout="aos", simd=True)
+        assert opts.n_threads == 4
+        assert opts.strategy == "replicate"
+        np.testing.assert_array_equal(opts.edges_per_thread, ex.edges_per_thread())
+
+    def test_sequential_options_no_counts(self, wing_setup):
+        mesh, _, _ = wing_setup
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 1, "sequential")
+        opts = make_edge_loop_options(ex)
+        assert opts.edges_per_thread is None
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    n=st.integers(50, 120),
+    seed=st.integers(0, 30),
+    t=st.sampled_from([2, 3, 5, 8]),
+    strategy=st.sampled_from(["atomic", "replicate"]),
+)
+def test_strategy_equivalence_property(n, seed, t, strategy):
+    """Property: all strategies reproduce the sequential edge-loop result on
+    arbitrary meshes, thread counts and states."""
+    mesh = delaunay_cloud_mesh(n, seed=seed)
+    field = FlowField(mesh)
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(field.n_vertices, 4))
+    ref = sequential_reference(field, q)
+    labels = (
+        natural_thread_labels(field.n_vertices, t)
+        if strategy == "replicate"
+        else None
+    )
+    ex = EdgeLoopExecutor(mesh.edges, field.n_vertices, t, strategy, labels)
+    res = ex.execute(flux_compute(field, q, 4.0))
+    np.testing.assert_allclose(res, ref, rtol=1e-11, atol=1e-11)
+
+
+class TestColoringStrategy:
+    def test_coloring_matches_sequential(self, wing_setup):
+        _, field, q = wing_setup
+        ref = sequential_reference(field, q)
+        ex = EdgeLoopExecutor(field.mesh.edges, field.n_vertices, 6, "coloring")
+        res = ex.execute(flux_compute(field, q, 4.0))
+        np.testing.assert_allclose(res, ref, rtol=1e-12, atol=1e-12)
+
+    def test_coloring_covers_all_edges_once(self, wing_setup):
+        mesh, _, _ = wing_setup
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 4, "coloring")
+        covered = np.zeros(mesh.n_edges, dtype=int)
+        for eidx in ex._thread_edges:
+            covered[eidx] += 1
+        assert np.all(covered == 1)
+
+    def test_coloring_counts_colors(self, wing_setup):
+        mesh, _, _ = wing_setup
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 4, "coloring")
+        assert ex.n_colors >= 14  # >= max vertex degree of a tet mesh
+
+    def test_coloring_options_carry_colors(self, wing_setup):
+        mesh, _, _ = wing_setup
+        ex = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 4, "coloring")
+        opts = make_edge_loop_options(ex)
+        assert opts.n_colors == ex.n_colors
+
+    def test_coloring_modeled_slower_than_metis(self, wing_setup):
+        from repro.smp import XEON_E5_2690_V2, edge_loop_time, flux_kernel_work
+
+        mesh, _, _ = wing_setup
+        work = flux_kernel_work(mesh.n_edges)
+        ex_c = EdgeLoopExecutor(mesh.edges, mesh.n_vertices, 8, "coloring")
+        ex_m = EdgeLoopExecutor(
+            mesh.edges, mesh.n_vertices, 8, "replicate",
+            metis_thread_labels(mesh.edges, mesh.n_vertices, 8, seed=0))
+        tc = edge_loop_time(XEON_E5_2690_V2, work, make_edge_loop_options(ex_c))
+        tm = edge_loop_time(XEON_E5_2690_V2, work, make_edge_loop_options(ex_m))
+        assert tm < tc

@@ -1,0 +1,304 @@
+"""Tests for GMRES, JFNK, additive Schwarz and the steady Newton driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd import FlowConfig, FlowField, compute_residual, residual_norm
+from repro.mesh import box_mesh, wing_mesh
+from repro.solver import (
+    AdditiveSchwarzILU,
+    SolverOptions,
+    fd_jacobian_operator,
+    gmres,
+    solve_steady,
+)
+from repro.sparse import BCSRMatrix
+
+
+def random_system(n=40, seed=0, cond=10.0):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(n, n)) + cond * np.eye(n)
+    x = rng.normal(size=n)
+    return A, x, A @ x
+
+
+class TestGMRES:
+    def test_solves_dense_system(self):
+        A, x_true, b = random_system()
+        res = gmres(lambda v: A @ v, b, rtol=1e-12, restart=40, maxiter=200)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8, atol=1e-8)
+
+    def test_identity_one_iteration(self):
+        b = np.arange(1.0, 6.0)
+        res = gmres(lambda v: v, b, rtol=1e-12)
+        assert res.iterations <= 2
+        np.testing.assert_allclose(res.x, b, rtol=1e-12)
+
+    def test_zero_rhs(self):
+        res = gmres(lambda v: 2 * v, np.zeros(5))
+        assert res.converged
+        np.testing.assert_allclose(res.x, 0.0)
+
+    def test_restart_still_converges(self):
+        A, x_true, b = random_system(n=60, seed=1)
+        res = gmres(lambda v: A @ v, b, rtol=1e-10, restart=10, maxiter=600)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-6, atol=1e-7)
+
+    def test_preconditioner_cuts_iterations(self):
+        A, _, b = random_system(n=80, seed=2, cond=4.0)
+        Minv = np.linalg.inv(np.diag(np.diag(A)))
+        plain = gmres(lambda v: A @ v, b, rtol=1e-8, restart=80, maxiter=400)
+        pc = gmres(
+            lambda v: A @ v,
+            b,
+            precond=lambda v: Minv @ v,
+            rtol=1e-8,
+            restart=80,
+            maxiter=400,
+        )
+        assert pc.iterations <= plain.iterations
+
+    def test_exact_preconditioner_one_iteration(self):
+        A, x_true, b = random_system(n=30, seed=3)
+        Ainv = np.linalg.inv(A)
+        res = gmres(lambda v: A @ v, b, precond=lambda v: Ainv @ v, rtol=1e-10)
+        assert res.iterations <= 2
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8)
+
+    def test_x0_initial_guess(self):
+        A, x_true, b = random_system(n=25, seed=4)
+        res = gmres(lambda v: A @ v, b, x0=x_true.copy(), rtol=1e-10)
+        assert res.iterations == 0
+        assert res.converged
+
+    def test_residual_history_monotone(self):
+        A, _, b = random_system(n=50, seed=5)
+        res = gmres(lambda v: A @ v, b, rtol=1e-10, restart=50)
+        hist = np.array(res.residual_norms)
+        assert np.all(np.diff(hist) <= 1e-9)
+
+
+class TestJFNK:
+    def test_matches_analytic_on_linear_function(self):
+        A, _, _ = random_system(n=20, seed=6)
+        rng = np.random.default_rng(7)
+        u = rng.normal(size=20)
+        op = fd_jacobian_operator(lambda x: A @ x, u)
+        v = rng.normal(size=20)
+        np.testing.assert_allclose(op(v), A @ v, rtol=1e-6, atol=1e-6)
+
+    def test_diag_added_exactly(self):
+        A, _, _ = random_system(n=15, seed=8)
+        rng = np.random.default_rng(9)
+        u = rng.normal(size=15)
+        d = rng.uniform(1.0, 2.0, 15)
+        op = fd_jacobian_operator(lambda x: A @ x, u, diag=d)
+        v = rng.normal(size=15)
+        np.testing.assert_allclose(op(v), A @ v + d * v, rtol=1e-6, atol=1e-6)
+
+    def test_zero_vector(self):
+        op = fd_jacobian_operator(lambda x: x**2, np.ones(5))
+        np.testing.assert_allclose(op(np.zeros(5)), 0.0)
+
+    def test_nonlinear_function(self):
+        # F(u) = u^3 -> J = diag(3u^2)
+        rng = np.random.default_rng(10)
+        u = rng.uniform(0.5, 1.5, 10)
+        op = fd_jacobian_operator(lambda x: x**3, u)
+        v = rng.normal(size=10)
+        np.testing.assert_allclose(op(v), 3 * u**2 * v, rtol=1e-5, atol=1e-5)
+
+
+def _diag_dominant_bcsr(mesh, b=4, seed=0, shift=8.0):
+    A = BCSRMatrix.from_mesh_edges(mesh.edges, mesh.n_vertices, b=b)
+    rng = np.random.default_rng(seed)
+    A.vals[:] = rng.normal(size=A.vals.shape) * 0.1
+    A.add_to_diagonal(shift)
+    return A
+
+
+class TestAdditiveSchwarz:
+    def test_single_domain_is_global_ilu(self):
+        m = box_mesh((4, 4, 3), jitter=0.1, seed=11)
+        A = _diag_dominant_bcsr(m, seed=11)
+        pc = AdditiveSchwarzILU(A)
+        pc.update(A)
+        rng = np.random.default_rng(12)
+        r = rng.normal(size=A.shape[0])
+        z = pc.apply(r)
+        # strong diagonal dominance: ILU(0) is an excellent preconditioner
+        assert np.linalg.norm(r - A.matvec(z)) < 0.1 * np.linalg.norm(r)
+
+    def test_multi_domain_apply_covers_all_rows(self):
+        m = box_mesh((4, 4, 4))
+        A = _diag_dominant_bcsr(m, seed=13)
+        from repro.partition import natural_partition
+
+        labels = natural_partition(m.n_vertices, 4)
+        pc = AdditiveSchwarzILU(A, labels=labels)
+        pc.update(A)
+        r = np.ones(A.shape[0])
+        z = pc.apply(r)
+        assert np.all(np.isfinite(z))
+        assert np.abs(z).min() > 0  # every row received a solve
+
+    def test_overlap_improves_preconditioner(self):
+        m = box_mesh((5, 5, 4), jitter=0.05, seed=14)
+        A = _diag_dominant_bcsr(m, seed=14, shift=4.0)
+        from repro.partition import natural_partition
+
+        labels = natural_partition(m.n_vertices, 4)
+        rng = np.random.default_rng(15)
+        r = rng.normal(size=A.shape[0])
+
+        def quality(overlap):
+            pc = AdditiveSchwarzILU(A, labels=labels, overlap=overlap)
+            pc.update(A)
+            z = pc.apply(r)
+            return np.linalg.norm(r - A.matvec(z))
+
+        assert quality(1) < quality(0)
+
+    def test_apply_before_update_raises(self):
+        m = box_mesh((3, 3, 3))
+        A = _diag_dominant_bcsr(m)
+        pc = AdditiveSchwarzILU(A)
+        with pytest.raises(RuntimeError):
+            pc.apply(np.ones(A.shape[0]))
+
+    def test_more_subdomains_weaker_preconditioner(self):
+        # reduced coupling degrades the preconditioner (the paper's MPI-only
+        # convergence degradation mechanism)
+        m = box_mesh((5, 5, 5), jitter=0.05, seed=16)
+        A = _diag_dominant_bcsr(m, seed=16, shift=3.0)
+        from repro.partition import natural_partition
+
+        rng = np.random.default_rng(17)
+        r = rng.normal(size=A.shape[0])
+
+        def quality(k):
+            labels = natural_partition(m.n_vertices, k)
+            pc = AdditiveSchwarzILU(A, labels=labels)
+            pc.update(A)
+            z = pc.apply(r)
+            return np.linalg.norm(r - A.matvec(z))
+
+        assert quality(1) < quality(8)
+
+
+class TestSteadySolve:
+    @pytest.fixture(scope="class")
+    def wing_solution(self):
+        mesh = wing_mesh(n_around=20, n_radial=6, n_span=5)
+        fld = FlowField(mesh)
+        cfg = FlowConfig()
+        res = solve_steady(
+            fld, cfg, SolverOptions(max_steps=40, steady_rtol=1e-6)
+        )
+        return fld, cfg, res
+
+    def test_converges(self, wing_solution):
+        _, _, res = wing_solution
+        assert res.converged
+        assert res.final_residual < 1e-6 * res.initial_residual
+
+    def test_velocity_divergence_small(self, wing_solution):
+        # at steady state the artificial-compressibility continuity residual
+        # (beta * net mass flux per CV) vanishes
+        fld, cfg, res = wing_solution
+        r = compute_residual(fld, res.q, cfg)
+        mass = np.abs(r[:, 0]) / fld.volumes
+        assert mass.max() < 1e-3
+
+    def test_stagnation_pressure_rise(self, wing_solution):
+        # flow decelerates at the leading edge: max pressure > freestream
+        _, _, res = wing_solution
+        assert res.q[:, 0].max() > 1e-3
+
+    def test_linear_iteration_count_reasonable(self, wing_solution):
+        _, _, res = wing_solution
+        assert 10 < res.linear_iterations < 2000
+
+    def test_ilu1_fewer_linear_iterations(self):
+        # Table II: fill-in speeds convergence (fewer Krylov iterations)
+        mesh = wing_mesh(n_around=16, n_radial=5, n_span=4)
+        fld = FlowField(mesh)
+        cfg = FlowConfig()
+        r0 = solve_steady(
+            fld, cfg, SolverOptions(max_steps=40, ilu_fill=0, gmres_rtol=1e-3)
+        )
+        r1 = solve_steady(
+            fld, cfg, SolverOptions(max_steps=40, ilu_fill=1, gmres_rtol=1e-3)
+        )
+        assert r0.converged and r1.converged
+        assert r1.linear_iterations < r0.linear_iterations
+
+    def test_subdomain_solve_converges(self):
+        mesh = wing_mesh(n_around=16, n_radial=5, n_span=4)
+        fld = FlowField(mesh)
+        cfg = FlowConfig()
+        res = solve_steady(
+            fld, cfg, SolverOptions(max_steps=50, n_subdomains=4)
+        )
+        assert res.converged
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 40), cond=st.floats(5.0, 40.0))
+def test_gmres_property(seed, cond):
+    """Property: GMRES solves random diagonally dominant systems."""
+    rng = np.random.default_rng(seed)
+    n = 30
+    A = rng.normal(size=(n, n)) + cond * np.eye(n)
+    x = rng.normal(size=n)
+    res = gmres(lambda v: A @ v, A @ x, rtol=1e-11, restart=30, maxiter=300)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x, rtol=1e-6, atol=1e-7)
+
+
+class TestDefectCorrection:
+    def test_matrix_based_solve_converges_first_order(self):
+        # with a first-order residual the assembled operator is (nearly)
+        # the true Jacobian, so matrix-based Newton converges fast
+        mesh = wing_mesh(n_around=14, n_radial=5, n_span=4)
+        fld = FlowField(mesh)
+        res = solve_steady(
+            fld, FlowConfig(second_order=False),
+            SolverOptions(max_steps=60, matrix_free=False),
+        )
+        assert res.converged
+
+    def test_same_steady_state_as_jfnk(self):
+        # both operators drive the same (first-order) nonlinear residual to
+        # zero, so the steady states agree to solver tolerance
+        mesh = wing_mesh(n_around=12, n_radial=4, n_span=3)
+        fld = FlowField(mesh)
+        cfg = FlowConfig(second_order=False)
+        r_mf = solve_steady(fld, cfg, SolverOptions(max_steps=80))
+        r_dc = solve_steady(
+            fld, cfg, SolverOptions(max_steps=80, matrix_free=False)
+        )
+        assert r_mf.converged and r_dc.converged
+        assert np.abs(r_mf.q - r_dc.q).max() < 1e-3
+
+    def test_defect_correction_slower_on_second_order(self):
+        # against the second-order residual the first-order operator is a
+        # defect-correction iteration: it reduces the residual but cannot
+        # match JFNK's Newton convergence
+        mesh = wing_mesh(n_around=12, n_radial=4, n_span=3)
+        fld = FlowField(mesh)
+        cfg = FlowConfig()
+        steps = 25
+        r_mf = solve_steady(
+            fld, cfg, SolverOptions(max_steps=steps, steady_rtol=0.0)
+        )
+        r_dc = solve_steady(
+            fld, cfg,
+            SolverOptions(max_steps=steps, steady_rtol=0.0, matrix_free=False),
+        )
+        assert r_dc.final_residual < r_dc.initial_residual  # still progresses
+        assert r_mf.final_residual < r_dc.final_residual  # JFNK wins

@@ -1,0 +1,265 @@
+"""Tests for ILU(k) symbolic/numeric factorization and triangular solves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import box_mesh, delaunay_cloud_mesh
+from repro.sparse import (
+    BCSRMatrix,
+    available_parallelism,
+    build_ilu_plan,
+    build_levels,
+    ilu_factorize,
+    ilu_symbolic,
+    trsv_solve,
+    trsv_solve_sequential,
+)
+
+
+def random_spd_bcsr(mesh, b=4, seed=0, shift=8.0):
+    A = BCSRMatrix.from_mesh_edges(mesh.edges, mesh.n_vertices, b=b)
+    rng = np.random.default_rng(seed)
+    A.vals[:] = rng.normal(size=A.vals.shape) * 0.1
+    A.add_to_diagonal(shift)
+    return A
+
+
+def block_tridiagonal(n, b=3, seed=0):
+    """Block tridiagonal matrix — its exact LU has no fill."""
+    edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+    A = BCSRMatrix.from_mesh_edges(edges, n, b=b)
+    rng = np.random.default_rng(seed)
+    A.vals[:] = rng.normal(size=A.vals.shape) * 0.2
+    A.add_to_diagonal(5.0)
+    return A
+
+
+class TestSymbolic:
+    def test_level0_is_identity(self):
+        m = box_mesh((3, 3, 3))
+        A = random_spd_bcsr(m)
+        rp, c = ilu_symbolic(A.rowptr, A.cols, 0)
+        np.testing.assert_array_equal(rp, A.rowptr)
+        np.testing.assert_array_equal(c, A.cols)
+
+    def test_fill_is_superset(self):
+        m = box_mesh((4, 3, 3))
+        A = random_spd_bcsr(m)
+        rp1, c1 = ilu_symbolic(A.rowptr, A.cols, 1)
+        assert c1.shape[0] >= A.cols.shape[0]
+        s0 = {
+            (i, int(j))
+            for i in range(A.n_brows)
+            for j in A.cols[A.rowptr[i] : A.rowptr[i + 1]]
+        }
+        s1 = {
+            (i, int(j))
+            for i in range(A.n_brows)
+            for j in c1[rp1[i] : rp1[i + 1]]
+        }
+        assert s0 <= s1
+
+    def test_fill_monotone_in_level(self):
+        m = box_mesh((3, 3, 4))
+        A = random_spd_bcsr(m)
+        sizes = [
+            ilu_symbolic(A.rowptr, A.cols, k)[1].shape[0] for k in range(3)
+        ]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_tridiagonal_no_fill(self):
+        A = block_tridiagonal(10)
+        rp, c = ilu_symbolic(A.rowptr, A.cols, 3)
+        assert c.shape[0] == A.cols.shape[0]
+
+    def test_rows_stay_sorted(self):
+        m = delaunay_cloud_mesh(60, seed=2)
+        A = random_spd_bcsr(m)
+        rp, c = ilu_symbolic(A.rowptr, A.cols, 2)
+        for i in range(A.n_brows):
+            assert np.all(np.diff(c[rp[i] : rp[i + 1]]) > 0)
+
+    def test_negative_level_rejected(self):
+        A = block_tridiagonal(4)
+        with pytest.raises(ValueError):
+            ilu_symbolic(A.rowptr, A.cols, -1)
+
+
+class TestNumericILU:
+    def test_ilu0_exact_on_tridiagonal(self):
+        # exact LU of a block tridiagonal has no fill, so ILU(0) is exact
+        A = block_tridiagonal(12, b=3, seed=1)
+        plan = build_ilu_plan(A.rowptr, A.cols, b=3, fill_level=0)
+        F = ilu_factorize(A, plan)
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=A.shape[0])
+        x = trsv_solve(F, b)
+        np.testing.assert_allclose(A.matvec(x), b, rtol=1e-10, atol=1e-10)
+
+    def test_lu_product_matches_on_pattern(self):
+        # ILU(0) defect property: (L@U)[i,j] == A[i,j] wherever (i,j) is in
+        # the pattern.
+        m = box_mesh((3, 3, 3), jitter=0.1, seed=3)
+        A = random_spd_bcsr(m, b=2, seed=3)
+        plan = build_ilu_plan(A.rowptr, A.cols, b=2, fill_level=0)
+        F = ilu_factorize(A, plan)
+        n, b = plan.n, plan.b
+        L = np.zeros((n * b, n * b))
+        U = np.zeros((n * b, n * b))
+        for i in range(n):
+            for p in range(plan.rowptr[i], plan.rowptr[i + 1]):
+                j = plan.cols[p]
+                blk = F.vals[p]
+                if j < i:
+                    L[i * b : (i + 1) * b, j * b : (j + 1) * b] = blk
+                else:
+                    U[i * b : (i + 1) * b, j * b : (j + 1) * b] = blk
+        L += np.eye(n * b)
+        prod = L @ U
+        dense = A.to_dense()
+        for i in range(n):
+            for p in range(A.rowptr[i], A.rowptr[i + 1]):
+                j = A.cols[p]
+                np.testing.assert_allclose(
+                    prod[i * b : (i + 1) * b, j * b : (j + 1) * b],
+                    dense[i * b : (i + 1) * b, j * b : (j + 1) * b],
+                    rtol=1e-9,
+                    atol=1e-9,
+                )
+
+    def test_high_fill_converges_to_exact(self):
+        # With enough fill, ILU(k) approaches the exact factorization and
+        # the preconditioner solves the system outright.
+        m = box_mesh((3, 3, 2), jitter=0.05, seed=4)
+        A = random_spd_bcsr(m, b=2, seed=4, shift=6.0)
+        plan = build_ilu_plan(A.rowptr, A.cols, b=2, fill_level=10)
+        F = ilu_factorize(A, plan)
+        rng = np.random.default_rng(5)
+        b = rng.normal(size=A.shape[0])
+        x = trsv_solve(F, b)
+        np.testing.assert_allclose(A.matvec(x), b, rtol=1e-8, atol=1e-8)
+
+    def test_ilu1_better_preconditioner_than_ilu0(self):
+        m = box_mesh((4, 4, 4), jitter=0.1, seed=6)
+        A = random_spd_bcsr(m, b=2, seed=6, shift=3.0)
+        rng = np.random.default_rng(7)
+        b = rng.normal(size=A.shape[0])
+
+        def precond_residual(fill):
+            plan = build_ilu_plan(A.rowptr, A.cols, b=2, fill_level=fill)
+            F = ilu_factorize(A, plan)
+            x = trsv_solve(F, b)
+            return np.linalg.norm(b - A.matvec(x))
+
+        assert precond_residual(1) < precond_residual(0)
+
+    def test_block_size_mismatch_raises(self):
+        A = block_tridiagonal(5, b=3)
+        plan = build_ilu_plan(A.rowptr, A.cols, b=2, fill_level=0)
+        with pytest.raises(ValueError):
+            ilu_factorize(A, plan)
+
+
+class TestTRSV:
+    def test_vectorized_equals_sequential(self):
+        m = box_mesh((4, 4, 3), jitter=0.1, seed=8)
+        A = random_spd_bcsr(m, seed=8)
+        plan = build_ilu_plan(A.rowptr, A.cols, b=4, fill_level=0)
+        F = ilu_factorize(A, plan)
+        rng = np.random.default_rng(9)
+        b = rng.normal(size=A.shape[0])
+        np.testing.assert_allclose(
+            trsv_solve(F, b), trsv_solve_sequential(F, b), rtol=1e-12, atol=1e-12
+        )
+
+    def test_block_shaped_rhs(self):
+        A = block_tridiagonal(8, b=2, seed=10)
+        plan = build_ilu_plan(A.rowptr, A.cols, b=2, fill_level=0)
+        F = ilu_factorize(A, plan)
+        rng = np.random.default_rng(11)
+        bb = rng.normal(size=(8, 2))
+        x = trsv_solve(F, bb)
+        assert x.shape == (8, 2)
+        np.testing.assert_allclose(x.reshape(-1), trsv_solve(F, bb.reshape(-1)))
+
+    def test_identity_factor(self):
+        # A = I => solve returns rhs
+        n, b = 6, 3
+        edges = np.zeros((0, 2), dtype=np.int64)
+        A = BCSRMatrix.from_mesh_edges(edges, n, b=b)
+        A.add_to_diagonal(1.0)
+        plan = build_ilu_plan(A.rowptr, A.cols, b=b, fill_level=0)
+        F = ilu_factorize(A, plan)
+        rhs = np.arange(n * b, dtype=float)
+        np.testing.assert_allclose(trsv_solve(F, rhs), rhs)
+
+
+class TestLevels:
+    def test_diagonal_single_level(self):
+        rowptr = np.arange(6)
+        cols = np.arange(5)
+        sched = build_levels(rowptr, cols)
+        assert sched.n_levels == 1
+        assert sched.levels[0].shape[0] == 5
+
+    def test_dense_lower_n_levels(self):
+        # fully sequential chain: row i depends on i-1
+        n = 7
+        rowptr = np.zeros(n + 1, dtype=int)
+        cols = []
+        for i in range(n):
+            row = list(range(max(0, i - 1), i + 1))
+            cols.extend(row)
+            rowptr[i + 1] = rowptr[i] + len(row)
+        sched = build_levels(rowptr, np.array(cols))
+        assert sched.n_levels == n
+
+    def test_levels_respect_dependencies(self):
+        m = box_mesh((4, 4, 4))
+        A = random_spd_bcsr(m)
+        sched = build_levels(A.rowptr, A.cols)
+        for i in range(A.n_brows):
+            row = A.cols[A.rowptr[i] : A.rowptr[i + 1]]
+            lower = row[row < i]
+            if lower.shape[0]:
+                assert sched.level_of[lower].max() < sched.level_of[i]
+
+    def test_widths_sum_to_n(self):
+        m = delaunay_cloud_mesh(100, seed=12)
+        A = random_spd_bcsr(m)
+        sched = build_levels(A.rowptr, A.cols)
+        assert sched.widths().sum() == A.n_brows
+
+    def test_available_parallelism_bounds(self):
+        m = box_mesh((5, 5, 5))
+        A = random_spd_bcsr(m)
+        par = available_parallelism(A.rowptr, A.cols)
+        assert 1.0 <= par <= A.n_brows
+
+    def test_fill_reduces_parallelism(self):
+        # Table II: ILU-1's pattern has less available parallelism than
+        # ILU-0's on the same mesh.
+        m = box_mesh((6, 6, 6))
+        A = random_spd_bcsr(m)
+        rp1, c1 = ilu_symbolic(A.rowptr, A.cols, 1)
+        par0 = available_parallelism(A.rowptr, A.cols)
+        par1 = available_parallelism(rp1, c1)
+        assert par1 < par0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50), fill=st.sampled_from([0, 1]))
+def test_trsv_property(seed, fill):
+    """Property: vectorized level-scheduled TRSV is numerically identical to
+    the sequential reference for any mesh pattern, values and fill level."""
+    m = delaunay_cloud_mesh(50, seed=seed % 5)
+    A = random_spd_bcsr(m, b=2, seed=seed)
+    plan = build_ilu_plan(A.rowptr, A.cols, b=2, fill_level=fill)
+    F = ilu_factorize(A, plan)
+    rng = np.random.default_rng(seed)
+    b = rng.normal(size=A.shape[0])
+    np.testing.assert_allclose(
+        trsv_solve(F, b), trsv_solve_sequential(F, b), rtol=1e-11, atol=1e-11
+    )

@@ -1,0 +1,142 @@
+"""Tests for dependency-graph extraction and P2P sparsification."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import box_mesh, delaunay_cloud_mesh
+from repro.partition import natural_partition
+from repro.sparse import (
+    BCSRMatrix,
+    build_dependency_graph,
+    cross_thread_syncs,
+    sparsify_transitive,
+)
+
+
+def pattern_of(mesh):
+    A = BCSRMatrix.from_mesh_edges(mesh.edges, mesh.n_vertices, b=1)
+    return A.rowptr, A.cols
+
+
+def reachable(graph, src, dst):
+    """BFS over retained dependency edges (k -> i means i in succ(k))."""
+    succ = {}
+    for i in range(graph.n_rows):
+        for k in graph.retained_preds(i):
+            succ.setdefault(int(k), []).append(i)
+    stack = [src]
+    seen = {src}
+    while stack:
+        v = stack.pop()
+        if v == dst:
+            return True
+        for u in succ.get(v, ()):
+            if u not in seen and u <= dst:
+                seen.add(u)
+                stack.append(u)
+    return False
+
+
+class TestDependencyGraph:
+    def test_counts(self):
+        m = box_mesh((3, 3, 3))
+        rowptr, cols = pattern_of(m)
+        g = build_dependency_graph(rowptr, cols)
+        assert g.n_rows == m.n_vertices
+        assert g.n_deps == m.n_edges  # one lower entry per edge
+        assert g.n_retained == g.n_deps
+
+    def test_preds_strictly_lower(self):
+        m = box_mesh((4, 3, 3))
+        rowptr, cols = pattern_of(m)
+        g = build_dependency_graph(rowptr, cols)
+        for i in range(g.n_rows):
+            preds = g.preds[g.pred_ptr[i] : g.pred_ptr[i + 1]]
+            assert np.all(preds < i)
+
+
+class TestSparsification:
+    def test_removes_some_dependencies(self):
+        m = box_mesh((5, 5, 5))
+        rowptr, cols = pattern_of(m)
+        g = sparsify_transitive(build_dependency_graph(rowptr, cols))
+        assert g.n_retained < g.n_deps
+
+    def test_never_adds(self):
+        m = box_mesh((3, 3, 4))
+        rowptr, cols = pattern_of(m)
+        g0 = build_dependency_graph(rowptr, cols)
+        g1 = sparsify_transitive(g0)
+        np.testing.assert_array_equal(g0.preds, g1.preds)
+        assert g1.n_retained <= g0.n_deps
+
+    def test_reachability_preserved(self):
+        # Every removed dependency k -> i must still be enforced through a
+        # retained path, or the parallel solve would race.
+        m = box_mesh((3, 3, 3))
+        rowptr, cols = pattern_of(m)
+        g0 = build_dependency_graph(rowptr, cols)
+        g1 = sparsify_transitive(g0)
+        removed = np.where(~g1.retained)[0]
+        rows = np.repeat(np.arange(g0.n_rows), np.diff(g0.pred_ptr))
+        for idx in removed:
+            k, i = int(g0.preds[idx]), int(rows[idx])
+            assert reachable(g1, k, i), f"lost ordering {k}->{i}"
+
+    def test_chain_fully_retained(self):
+        # a pure chain has no redundant edges
+        n = 6
+        rowptr = np.zeros(n + 1, dtype=int)
+        cols = []
+        for i in range(n):
+            row = ([i - 1] if i else []) + [i]
+            cols.extend(row)
+            rowptr[i + 1] = rowptr[i] + len(row)
+        g = sparsify_transitive(build_dependency_graph(rowptr, np.array(cols)))
+        assert g.n_retained == n - 1
+
+    def test_triangle_redundancy_removed(self):
+        # rows: 1 depends on 0; 2 depends on 0 and 1 -> dep 0->2 redundant
+        rowptr = np.array([0, 1, 3, 6])
+        cols = np.array([0, 0, 1, 0, 1, 2])
+        g = sparsify_transitive(build_dependency_graph(rowptr, cols))
+        assert g.n_retained == 2
+        np.testing.assert_array_equal(g.retained_preds(2), [1])
+
+
+class TestCrossThreadSyncs:
+    def test_single_thread_no_syncs(self):
+        m = box_mesh((3, 3, 3))
+        rowptr, cols = pattern_of(m)
+        g = build_dependency_graph(rowptr, cols)
+        owner = np.zeros(g.n_rows, dtype=int)
+        assert cross_thread_syncs(g, owner) == 0
+
+    def test_sparsification_reduces_syncs(self):
+        m = box_mesh((5, 5, 5))
+        rowptr, cols = pattern_of(m)
+        g0 = build_dependency_graph(rowptr, cols)
+        g1 = sparsify_transitive(g0)
+        owner = natural_partition(g0.n_rows, 4)
+        assert cross_thread_syncs(g1, owner) <= cross_thread_syncs(g0, owner)
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(40, 90), seed=st.integers(0, 30))
+def test_sparsify_reachability_property(n, seed):
+    """Property: on arbitrary Delaunay patterns, 2-hop transitive reduction
+    preserves the ordering of every removed dependency."""
+    m = delaunay_cloud_mesh(n, seed=seed)
+    rowptr, cols = pattern_of(m)
+    g0 = build_dependency_graph(rowptr, cols)
+    g1 = sparsify_transitive(g0)
+    removed = np.where(~g1.retained)[0]
+    rows = np.repeat(np.arange(g0.n_rows), np.diff(g0.pred_ptr))
+    # sample at most 30 removed deps to keep the property test fast
+    rng = np.random.default_rng(seed)
+    if removed.shape[0] > 30:
+        removed = rng.choice(removed, 30, replace=False)
+    for idx in removed:
+        k, i = int(g0.preds[idx]), int(rows[idx])
+        assert reachable(g1, k, i)
