@@ -41,6 +41,15 @@ from .mesh import (
     validate_mesh,
     wing_mesh,
 )
+from .obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    use_metrics,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .smp import XEON_E5_2690_V2, MachineModel
 from .solver import SolveResult, SolverOptions, solve_steady
 
@@ -65,6 +74,13 @@ __all__ = [
     "save_mesh",
     "validate_mesh",
     "wing_mesh",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "use_metrics",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
     "XEON_E5_2690_V2",
     "MachineModel",
     "SolveResult",

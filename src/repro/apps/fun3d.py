@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cfd.state import FlowConfig, FlowField
+from ..obs.metrics import MetricsRegistry, use_metrics
+from ..obs.span import NullTracer, Tracer, use_tracer
 from ..ordering import rcm_relabel
 from ..mesh.core import UnstructuredMesh
 from ..perf.profile import PerfRegistry, use_registry
@@ -59,6 +61,8 @@ class Fun3dRunResult:
     counts: dict[str, int]
     profile: dict[str, float]  # kernel -> modeled seconds for the config
     config: OptimizationConfig
+    trace: Tracer | None = None  # hierarchical span tree of the solve
+    metrics: MetricsRegistry | None = None  # convergence/comm telemetry
 
     @property
     def modeled_total(self) -> float:
@@ -100,8 +104,16 @@ class Fun3dApp:
         self,
         config: OptimizationConfig | None = None,
         solver_overrides: dict | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> Fun3dRunResult:
-        """Solve to steady state and price the run under ``config``."""
+        """Solve to steady state and price the run under ``config``.
+
+        Every run is traced: a fresh :class:`~repro.obs.Tracer` and
+        :class:`~repro.obs.MetricsRegistry` (or the ones passed in) are
+        active for the solve, and the result carries both alongside the
+        flat registry.
+        """
         config = config or OptimizationConfig.baseline()
         opts = self.solver
         kw = {"ilu_fill": config.ilu_fill}
@@ -112,7 +124,9 @@ class Fun3dApp:
         opts = replace(opts, **kw)
 
         reg = PerfRegistry()
-        with use_registry(reg):
+        tracer = tracer if tracer is not None else Tracer()
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        with use_registry(reg), use_tracer(tracer), use_metrics(metrics):
             solve = solve_steady(self.field, self.flow, opts)
 
         counts = self.operation_counts(reg, solve)
@@ -123,6 +137,8 @@ class Fun3dApp:
             counts=counts,
             profile=profile,
             config=config,
+            trace=tracer,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------
@@ -150,6 +166,44 @@ class Fun3dApp:
                 r.calls for n, r in reg.records.items() if n.startswith("Vec")
             ),
         }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def counts_from_trace(
+        tracer: Tracer | NullTracer, reg: PerfRegistry
+    ) -> dict[str, int]:
+        """Operation counts derived from the span tree.
+
+        The trace-first variant of :meth:`operation_counts`: kernel
+        invocation counts, Newton steps and Krylov iterations all come from
+        spans (``flux``/``jacobian``/``ilu``/``trsv`` leaves, ``newton-step``
+        and ``gmres`` structure spans with their ``iterations`` attribute).
+        Vector-primitive tallies have no spans — they stay registry-sourced.
+        For an instrumented solve this reproduces ``operation_counts``
+        exactly; the Fig. 5 benchmark asserts that reconciliation.
+        """
+        kc = tracer.kernel_counts()
+        counts = {
+            "residual_evals": kc.get("flux", 0),
+            "jacobian_assemblies": kc.get("jacobian", 0),
+            "ilu_factorizations": kc.get("ilu", 0),
+            "trsv_applies": kc.get("trsv", 0),
+            "linear_iterations": sum(
+                int(s.attrs.get("iterations", 0)) for s in tracer.find("gmres")
+            ),
+            "steps": kc.get("newton-step", 0),
+        }
+        for key, attr in (
+            ("vec_bytes", "bytes"),
+            ("vec_flops", "flops"),
+            ("vec_calls", "calls"),
+        ):
+            counts[key] = sum(
+                getattr(r, attr)
+                for n, r in reg.records.items()
+                if n.startswith("Vec")
+            )
+        return counts
 
     # ------------------------------------------------------------------
     def _edge_options(self, config: OptimizationConfig) -> EdgeLoopOptions:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+from ..obs.span import kernel_span
 from .boundary import farfield_residual, wall_residual
 from .flux import interior_flux_residual
 from .gradient import lsq_gradients, venkat_limiter
@@ -30,24 +32,32 @@ def compute_residual(
     ``first_order=True`` skips reconstruction regardless of the config —
     used for the preconditioner-side discretization, which the paper keeps
     "lower-order, sparser and more diffusive".
+
+    Instrumentation: the reconstruction runs under a ``grad`` kernel span
+    and the flux + boundary sweep under ``flux`` (the paper's two edge-loop
+    profile entries), reported to both the perf registry and any active
+    tracer.
     """
+    get_metrics().counter("residual.evals").inc()
     grad = limiter = None
     if config.second_order and not first_order:
-        grad = lsq_gradients(field, q)
-        limiter = venkat_limiter(field, q, grad, k=config.limiter_k)
-    res = interior_flux_residual(
-        field, q, config.beta, grad, limiter, scheme=config.dissipation
-    )
-    res += wall_residual(field, q, "wall")
-    res += wall_residual(field, q, "sym")
-    res += farfield_residual(
-        field, q, freestream_state(config), config.beta,
-        scheme=config.dissipation,
-    )
-    if config.mu > 0.0:
-        from .viscous import viscous_residual
+        with kernel_span("grad"):
+            grad = lsq_gradients(field, q)
+            limiter = venkat_limiter(field, q, grad, k=config.limiter_k)
+    with kernel_span("flux"):
+        res = interior_flux_residual(
+            field, q, config.beta, grad, limiter, scheme=config.dissipation
+        )
+        res += wall_residual(field, q, "wall")
+        res += wall_residual(field, q, "sym")
+        res += farfield_residual(
+            field, q, freestream_state(config), config.beta,
+            scheme=config.dissipation,
+        )
+        if config.mu > 0.0:
+            from .viscous import viscous_residual
 
-        res += viscous_residual(field, q, config.mu, field.visc_coeffs)
+            res += viscous_residual(field, q, config.mu, field.visc_coeffs)
     return res
 
 

@@ -4,12 +4,15 @@ Commands
 --------
 ``mesh-info``   generate a dataset, validate it, print structural stats
 ``solve``       run the steady solver, print convergence/forces/profile
+``profile``     traced solve: span-tree profile + metrics (+ exports)
 ``speedup``     price a run under baseline + optimized configs (Fig 8a)
 ``scaling``     multi-node strong-scaling table (Fig 9-11)
 ``partition``   partition-quality study (natural / RCB / multilevel)
 
 Every command works on the generated ONERA-M6-like datasets; ``--scale``
-sizes them (1.0 = full Mesh-C'/Mesh-D' analogues).
+sizes them (1.0 = full Mesh-C'/Mesh-D' analogues).  ``solve``, ``profile``
+and ``scaling`` accept ``--trace-out`` (Chrome ``trace_event`` JSON for
+``chrome://tracing`` / Perfetto) and ``--metrics-out`` (JSONL event log).
 """
 
 from __future__ import annotations
@@ -22,12 +25,26 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed: fall back to the source tree
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="PyFUN3D: IPDPS'15 shared-memory CFD optimization study",
     )
-    sub = p.add_subparsers(dest="command", required=True)
+    p.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
+    sub = p.add_subparsers(dest="command")
 
     def add_mesh_args(sp):
         sp.add_argument("--dataset", choices=["mesh-c", "mesh-d", "wing"],
@@ -35,18 +52,34 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--scale", type=float, default=0.12)
         sp.add_argument("--seed", type=int, default=7)
 
+    def add_obs_args(sp):
+        sp.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace_event JSON file")
+        sp.add_argument("--metrics-out", metavar="PATH",
+                        help="write a JSONL span/event/metrics log")
+
+    def add_solve_args(sp):
+        add_mesh_args(sp)
+        sp.add_argument("--ilu", type=int, default=1, help="ILU fill level")
+        sp.add_argument("--subdomains", type=int, default=1)
+        sp.add_argument("--dissipation", choices=["rusanov", "roe"],
+                        default="rusanov")
+        sp.add_argument("--aoa", type=float, default=3.0)
+        sp.add_argument("--max-steps", type=int, default=100)
+        sp.add_argument("--rtol", type=float, default=1e-6)
+        add_obs_args(sp)
+
     sp = sub.add_parser("mesh-info", help="generate and validate a dataset")
     add_mesh_args(sp)
 
     sp = sub.add_parser("solve", help="steady flow solve")
-    add_mesh_args(sp)
-    sp.add_argument("--ilu", type=int, default=1, help="ILU fill level")
-    sp.add_argument("--subdomains", type=int, default=1)
-    sp.add_argument("--dissipation", choices=["rusanov", "roe"],
-                    default="rusanov")
-    sp.add_argument("--aoa", type=float, default=3.0)
-    sp.add_argument("--max-steps", type=int, default=100)
-    sp.add_argument("--rtol", type=float, default=1e-6)
+    add_solve_args(sp)
+
+    sp = sub.add_parser(
+        "profile",
+        help="traced steady solve: span-tree profile, metrics, exports",
+    )
+    add_solve_args(sp)
 
     sp = sub.add_parser("speedup", help="modeled optimization speedups")
     add_mesh_args(sp)
@@ -60,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
                     default=[1, 4, 16, 64, 256])
     sp.add_argument("--pipelined", action="store_true",
                     help="model pipelined GMRES (future-work extension)")
+    add_obs_args(sp)
 
     sp = sub.add_parser("partition", help="partition quality study")
     add_mesh_args(sp)
@@ -95,9 +129,38 @@ def cmd_mesh_info(args) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_solve(args) -> int:
+def _write_obs(args, tracer, metrics) -> None:
+    """Honor --trace-out / --metrics-out if the command defines them."""
+    from .obs import write_chrome_trace, write_jsonl
+
+    if getattr(args, "trace_out", None):
+        write_chrome_trace(tracer, args.trace_out)
+        print(f"wrote Chrome trace: {args.trace_out}")
+    if getattr(args, "metrics_out", None):
+        write_jsonl(args.metrics_out, tracer, metrics)
+        print(f"wrote JSONL log: {args.metrics_out}")
+
+
+def _reconciliation(tracer, registry) -> float:
+    """Worst per-kernel relative deviation, span tree vs flat registry.
+
+    Only kernels that appear in both views are compared: Vec* primitives
+    report to the registry alone (they are too fine-grained to trace).
+    """
+    span_tot = tracer.kernel_totals()
+    return max(
+        (
+            abs(span_tot[k] - r.seconds) / r.seconds
+            for k, r in registry.records.items()
+            if r.seconds > 0 and k in span_tot
+        ),
+        default=0.0,
+    )
+
+
+def _run_solve(args):
     from .apps import Fun3dApp, OptimizationConfig
-    from .cfd import FlowConfig, integrate_forces
+    from .cfd import FlowConfig
     from .solver import SolverOptions
 
     mesh = _make_mesh(args)
@@ -111,7 +174,14 @@ def cmd_solve(args) -> int:
         ),
     )
     res = app.run(OptimizationConfig.baseline(ilu_fill=args.ilu))
-    s = res.solve
+    return app, res
+
+
+def cmd_solve(args) -> int:
+    from .cfd import integrate_forces
+
+    app, res = _run_solve(args)
+    mesh, s = app.mesh, res.solve
     print(f"{mesh.name}: {mesh.n_vertices} vertices / {mesh.n_edges} edges")
     print(
         f"converged={s.converged} steps={s.steps} "
@@ -123,6 +193,31 @@ def cmd_solve(args) -> int:
     print("baseline profile:")
     for name, frac in sorted(res.fractions().items(), key=lambda kv: -kv[1]):
         print(f"  {name:<9} {100 * frac:5.1f}%")
+    _write_obs(args, res.trace, res.metrics)
+    return 0 if s.converged else 1
+
+
+def cmd_profile(args) -> int:
+    from .obs import aggregate_spans
+    from .perf import format_profile
+
+    app, res = _run_solve(args)
+    tracer, s = res.trace, res.solve
+    print(f"{app.mesh.name}: traced solve "
+          f"(converged={s.converged} steps={s.steps} "
+          f"krylov={s.linear_iterations})")
+    print()
+    print(format_profile(
+        aggregate_spans(tracer.roots),
+        title="span-tree profile (wall seconds of this Python run, "
+              "same-name spans folded)",
+    ))
+    print()
+    print(res.metrics.report())
+    print()
+    print(f"span/registry reconciliation: max per-kernel deviation "
+          f"{100 * _reconciliation(tracer, res.registry):.3f}%")
+    _write_obs(args, tracer, res.metrics)
     return 0 if s.converged else 1
 
 
@@ -146,6 +241,7 @@ def cmd_speedup(args) -> int:
 
 def cmd_scaling(args) -> int:
     from .dist import MESH_C_PAPER, MESH_D_PAPER, MultiNodeModel, NodeConfig
+    from .obs import MetricsRegistry, Tracer, use_metrics
     from .perf import format_series
 
     wl = MESH_C_PAPER if args.workload == "mesh-c" else MESH_D_PAPER
@@ -159,17 +255,30 @@ def cmd_scaling(args) -> int:
             threaded_kernels=True, pipelined_gmres=args.pipelined
         ),
     }
+    metrics = MetricsRegistry()
+    tracer = Tracer()  # holds the synthetic model spans for export
     series = {}
-    for name, cfg in configs.items():
-        mm = MultiNodeModel(wl, config=cfg)
-        series[name + " (s)"] = [f"{mm.total_time(n):.1f}" for n in args.nodes]
-    base = MultiNodeModel(wl, config=configs["baseline"])
+    with use_metrics(metrics):
+        for name, cfg in configs.items():
+            mm = MultiNodeModel(wl, config=cfg)
+            series[name + " (s)"] = [
+                f"{mm.total_time(n):.1f}" for n in args.nodes
+            ]
+        base = MultiNodeModel(wl, config=configs["baseline"])
+        breakdowns = [base.trace_breakdown(n) for n in args.nodes]
+    from .obs import synthetic_span
+
+    tracer.roots.append(synthetic_span(
+        f"scaling/{wl.name}",
+        sum(s.seconds for s in breakdowns),
+        children=breakdowns,
+    ))
     series["comm %"] = [
-        f"{100 * base.step_breakdown(n)['comm_fraction']:.0f}%"
-        for n in args.nodes
+        f"{100 * s.attrs['comm_fraction']:.0f}%" for s in breakdowns
     ]
     print(format_series("nodes", args.nodes, series,
                         title=f"{wl.name} strong scaling (modeled)"))
+    _write_obs(args, tracer, metrics)
     return 0
 
 
@@ -209,6 +318,7 @@ def cmd_partition(args) -> int:
 _COMMANDS = {
     "mesh-info": cmd_mesh_info,
     "solve": cmd_solve,
+    "profile": cmd_profile,
     "speedup": cmd_speedup,
     "scaling": cmd_scaling,
     "partition": cmd_partition,
@@ -216,7 +326,11 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
     return _COMMANDS[args.command](args)
 
 

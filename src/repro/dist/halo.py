@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+
 __all__ = ["LocalDomain", "DomainDecomposition"]
 
 
@@ -113,6 +115,15 @@ class DomainDecomposition:
                     dtype=np.int64,
                 )
                 nb_dom.send_lists[dom.rank] = send_local
+        # replicated cut edges: each cut edge is processed by both endpoint
+        # ranks (the paper's owner-computes replication overhead)
+        n_global = max(int(self.edges.shape[0]), 1)
+        n_local = sum(int(d.local_edges.shape[0]) for d in self.domains)
+        met = get_metrics()
+        met.gauge("halo.redundant_edge_fraction").set(
+            (n_local - self.edges.shape[0]) / n_global
+        )
+        met.gauge("halo.n_ranks").set(self.n_ranks)
 
     # ------------------------------------------------------------------
     def scatter(self, global_field: np.ndarray) -> list[np.ndarray]:
@@ -134,12 +145,19 @@ class DomainDecomposition:
         into the neighbor's ghost slots.
         """
         buffers: dict[tuple[int, int], np.ndarray] = {}
+        nbytes = 0
         for dom in self.domains:
             for nb, send_idx in dom.send_lists.items():
-                buffers[(dom.rank, nb)] = locals_[dom.rank][send_idx].copy()
+                buf = locals_[dom.rank][send_idx].copy()
+                buffers[(dom.rank, nb)] = buf
+                nbytes += buf.nbytes
         for dom in self.domains:
             for nb, slots in dom.recv_lists.items():
                 locals_[dom.rank][slots] = buffers[(nb, dom.rank)]
+        met = get_metrics()
+        met.counter("halo.exchanges").inc()
+        met.counter("halo.messages").inc(len(buffers))
+        met.counter("halo.bytes").inc(nbytes)
 
     def gather(self, locals_: list[np.ndarray], nv: int) -> np.ndarray:
         """Assemble owned values back into a global array."""

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+from ..obs.span import Span, synthetic_span
 from ..smp.cost import (
     EdgeLoopOptions,
     TriSolveOptions,
@@ -244,19 +246,24 @@ class MultiNodeModel:
         # collectives: 2 allreduces (VecMDot + VecNorm) per Krylov iteration
         # plus a few per step (residual norms, timestep reductions)
         ar_once = self.network.allreduce_time(8.0 * 16, P)
+        n_allreduce = (2.0 * iters + 4.0 * steps) if P > 1 else 0.0
         if cfg.pipelined_gmres and P > 1:
             # reductions overlap the iteration's matvec + preconditioner
             # work; only the un-hidden remainder is exposed
             exposed = max(0.0, 2.0 * ar_once - per_iter)
             allreduce = iters * exposed + 4.0 * steps * ar_once
         else:
-            allreduce = (2.0 * iters + 4.0 * steps) * ar_once if P > 1 else 0.0
+            allreduce = n_allreduce * ar_once
 
         total = compute + halo + allreduce
+        met = get_metrics()
+        met.counter("model.allreduce_count").inc(n_allreduce)
+        met.gauge("model.comm_fraction").set((halo + allreduce) / total)
         return {
             "nodes": float(n_nodes),
             "ranks": float(P),
             "iterations": iters,
+            "allreduce_count": n_allreduce,
             "compute": compute,
             "halo": halo,
             "allreduce": allreduce,
@@ -264,6 +271,33 @@ class MultiNodeModel:
             "total": total,
             "comm_fraction": (halo + allreduce) / total,
         }
+
+    def trace_breakdown(self, n_nodes: int) -> Span:
+        """The Fig. 10 breakdown as a synthetic span tree.
+
+        Children ``compute``/``halo``/``allreduce`` carry the modeled
+        seconds of :meth:`step_breakdown`, laid out back-to-back, so the
+        strong-scaling model exports through the same span machinery (and
+        Chrome-trace/JSONL writers) as the measured solves.
+        """
+        bd = self.step_breakdown(n_nodes)
+        children = [
+            synthetic_span("compute", bd["compute"]),
+            synthetic_span("halo", bd["halo"]),
+            synthetic_span(
+                "allreduce", bd["allreduce"], count=bd["allreduce_count"]
+            ),
+        ]
+        return synthetic_span(
+            f"scaling/{self.workload.name}/{n_nodes}-nodes",
+            bd["total"],
+            children=children,
+            nodes=n_nodes,
+            ranks=bd["ranks"],
+            iterations=bd["iterations"],
+            comm_fraction=bd["comm_fraction"],
+            config=self.config.label(),
+        )
 
     def total_time(self, n_nodes: int) -> float:
         return self.step_breakdown(n_nodes)["total"]

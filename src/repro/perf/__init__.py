@@ -1,7 +1,7 @@
 """Performance instrumentation: kernel timers, profiles, report tables."""
 
 from .profile import KernelRecord, PerfRegistry, get_registry, use_registry
-from .report import format_series, format_table
+from .report import format_profile, format_series, format_table
 from .stream import measure_stream_triad
 
 __all__ = [
@@ -9,6 +9,7 @@ __all__ = [
     "PerfRegistry",
     "get_registry",
     "use_registry",
+    "format_profile",
     "format_series",
     "measure_stream_triad",
     "format_table",

@@ -125,9 +125,17 @@ def get_registry() -> PerfRegistry:
 
 @contextmanager
 def use_registry(registry: PerfRegistry):
-    """Route all accounting inside the block to ``registry``."""
+    """Route all accounting inside the block to ``registry``.
+
+    Exception-safe and reentrancy-safe: on exit the stack is truncated back
+    to its depth at entry, so the previously active registry is restored
+    even if code inside the block raised, or pushed registries it never
+    popped (a bare ``_stack.pop()`` would hand the leak to the wrong
+    scope).
+    """
+    depth = len(_stack)
     _stack.append(registry)
     try:
         yield registry
     finally:
-        _stack.pop()
+        del _stack[depth:]

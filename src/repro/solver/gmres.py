@@ -17,6 +17,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+from ..obs.span import get_tracer
 from ..petsclite.vec import vec_copy, vec_maxpy, vec_mdot, vec_norm, vec_scale
 
 __all__ = ["GMRESResult", "gmres"]
@@ -56,9 +58,14 @@ def gmres(
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else x0.copy()
     M = precond if precond is not None else lambda v: v
+    metrics = get_metrics()
+    # allreduce accounting: every vec_norm / vec_mdot is one global
+    # reduction in the distributed setting (the Fig. 10 MPI_Allreduce wall)
+    allreduces = 1  # the ||b|| norm below
 
     bnorm = vec_norm(b)
     if bnorm == 0.0:
+        metrics.counter("gmres.allreduces").inc(allreduces)
         return GMRESResult(x=np.zeros(n), iterations=0, residual_norms=[0.0], converged=True)
     tol = max(rtol * bnorm, atol)
 
@@ -66,9 +73,45 @@ def gmres(
     total_it = 0
     converged = False
 
+    with get_tracer().span("gmres", restart=restart, rtol=rtol) as gm_span:
+        converged, total_it, allreduces = _gmres_cycles(
+            op, b, M, x, tol, restart, maxiter, res_hist, allreduces
+        )
+        if gm_span is not None:
+            gm_span.attrs["iterations"] = total_it
+
+    metrics.counter("gmres.solves").inc()
+    metrics.counter("gmres.iterations").inc(total_it)
+    metrics.counter("gmres.allreduces").inc(allreduces)
+    metrics.histogram("gmres.iters_per_solve").observe(total_it)
+
+    return GMRESResult(
+        x=x,
+        iterations=total_it,
+        residual_norms=res_hist,
+        converged=converged,
+    )
+
+
+def _gmres_cycles(
+    op: Operator,
+    b: np.ndarray,
+    M: Operator,
+    x: np.ndarray,
+    tol: float,
+    restart: int,
+    maxiter: int,
+    res_hist: list[float],
+    allreduces: int,
+) -> tuple[bool, int, int]:
+    """Restart cycles of :func:`gmres`; updates ``x`` in place."""
+    x0_zero = not x.any()
+    total_it = 0
+    converged = False
     while total_it < maxiter and not converged:
-        r = b - op(x) if total_it else (b - op(x) if x0 is not None else vec_copy(b))
+        r = b - op(x) if total_it else (vec_copy(b) if x0_zero else b - op(x))
         beta = vec_norm(r)
+        allreduces += 1
         res_hist.append(beta)
         if beta <= tol:
             converged = True
@@ -91,6 +134,7 @@ def gmres(
             # classical Gram-Schmidt: one fused MDot + MAXPY
             h = vec_mdot(V, w)
             vec_maxpy(w, -h, V)
+            allreduces += 2  # the MDot and the norm below
             H[: j + 1, j] = h
             H[j + 1, j] = vec_norm(w)
             if H[j + 1, j] > 1e-14 * max(beta, 1.0):
@@ -125,9 +169,4 @@ def gmres(
                 y[i] = (g[i] - H[i, i + 1 : j_done] @ y[i + 1 : j_done]) / H[i, i]
             vec_maxpy(x, y, Z[:j_done])
 
-    return GMRESResult(
-        x=x,
-        iterations=total_it,
-        residual_norms=res_hist,
-        converged=converged,
-    )
+    return converged, total_it, allreduces

@@ -23,7 +23,8 @@ from ..cfd.jacobian import JacobianAssembler
 from ..cfd.residual import compute_residual, residual_norm
 from ..cfd.state import FlowConfig, FlowField
 from ..cfd.timestep import local_timestep, ser_cfl
-from ..perf.profile import get_registry
+from ..obs.metrics import get_metrics
+from ..obs.span import get_tracer, kernel_span
 from .gmres import gmres
 from .jfnk import fd_jacobian_operator
 from .schwarz import AdditiveSchwarzILU
@@ -90,7 +91,8 @@ def solve_steady(
     primitives from GMRES under their PETSc names).
     """
     opts = opts or SolverOptions()
-    reg = get_registry()
+    tracer = get_tracer()
+    metrics = get_metrics()
     nv = fld.n_vertices
 
     q = fld.initial_state(config) if q0 is None else q0.copy()
@@ -109,8 +111,7 @@ def solve_steady(
 
     def spatial_residual(u_flat: np.ndarray) -> np.ndarray:
         u = u_flat.reshape(nv, 4)
-        with reg.timer("flux"):
-            r = compute_residual(fld, u, config)
+        r = compute_residual(fld, u, config)
         return r.reshape(-1)
 
     history: list[float] = []
@@ -121,60 +122,74 @@ def solve_steady(
     r0_norm = None
 
     step = 0
-    for step in range(1, opts.max_steps + 1):
-        with reg.timer("flux"):
-            res = compute_residual(fld, q, config)
-        rnorm = residual_norm(res)
-        history.append(rnorm)
-        if r0_norm is None:
-            r0_norm = rnorm
-        if callback:
-            callback(step, rnorm, cfl)
-        if rnorm <= max(opts.steady_rtol * r0_norm, opts.steady_atol):
-            converged = True
-            break
+    with tracer.span(
+        "solve", n_vertices=nv, ilu_fill=opts.ilu_fill,
+        n_subdomains=opts.n_subdomains,
+    ):
+        for step in range(1, opts.max_steps + 1):
+            with tracer.span("newton-step", step=step):
+                res = compute_residual(fld, q, config)
+                rnorm = residual_norm(res)
+                history.append(rnorm)
+                if r0_norm is None:
+                    r0_norm = rnorm
+                if callback:
+                    callback(step, rnorm, cfl)
+                tracer.event("residual", step=step, rnorm=rnorm, cfl=cfl)
+                metrics.gauge("newton.residual_norm").set(rnorm)
+                if rnorm <= max(opts.steady_rtol * r0_norm, opts.steady_atol):
+                    converged = True
+                    break
+                metrics.counter("newton.steps").inc()
 
-        cfl = ser_cfl(
-            opts.cfl0, r0_norm, rnorm, cfl_max=opts.cfl_max, cfl_prev=cfl
-        )
-        cfls.append(cfl)
-        dt = local_timestep(fld, q, config, cfl)
+                cfl = ser_cfl(
+                    opts.cfl0, r0_norm, rnorm, cfl_max=opts.cfl_max,
+                    cfl_prev=cfl,
+                )
+                cfls.append(cfl)
+                dt = local_timestep(fld, q, config, cfl)
 
-        with reg.timer("jacobian"):
-            assembler.assemble(q, config, out=A)
-            assembler.add_pseudo_time(A, dt)
-        with reg.timer("ilu"):
-            precond.update(A)
+                with kernel_span("jacobian"):
+                    assembler.assemble(q, config, out=A)
+                    assembler.add_pseudo_time(A, dt)
+                with kernel_span("ilu"):
+                    precond.update(A)
 
-        diag = np.repeat(fld.volumes / dt, 4)
-        if opts.matrix_free:
-            op = fd_jacobian_operator(
-                spatial_residual, q.reshape(-1), r0=res.reshape(-1), diag=diag
-            )
-        else:
-            op = A.matvec  # defect correction: first-order operator
+                diag = np.repeat(fld.volumes / dt, 4)
+                if opts.matrix_free:
+                    op = fd_jacobian_operator(
+                        spatial_residual, q.reshape(-1), r0=res.reshape(-1),
+                        diag=diag,
+                    )
+                else:
+                    op = A.matvec  # defect correction: first-order operator
 
-        def apply_pc(v: np.ndarray) -> np.ndarray:
-            with reg.timer("trsv"):
-                return precond.apply(v)
+                def apply_pc(v: np.ndarray) -> np.ndarray:
+                    with kernel_span("trsv"):
+                        return precond.apply(v)
 
-        result = gmres(
-            op,
-            -res.reshape(-1),
-            precond=apply_pc,
-            rtol=opts.gmres_rtol,
-            restart=opts.gmres_restart,
-            maxiter=opts.gmres_maxiter,
-        )
-        total_linear += result.iterations
+                result = gmres(
+                    op,
+                    -res.reshape(-1),
+                    precond=apply_pc,
+                    rtol=opts.gmres_rtol,
+                    restart=opts.gmres_restart,
+                    maxiter=opts.gmres_maxiter,
+                )
+                total_linear += result.iterations
+                metrics.histogram("newton.krylov_per_step").observe(
+                    result.iterations
+                )
 
-        du = result.x.reshape(nv, 4)
-        # clip the update for robustness during the strongly nonlinear
-        # transient (acts like the physicality checks in production codes)
-        m = np.abs(du).max()
-        scale = min(1.0, opts.max_update / m) if m > 0 else 1.0
-        q += scale * du
+                du = result.x.reshape(nv, 4)
+                # clip the update for robustness during the strongly
+                # nonlinear transient (acts like the physicality checks in
+                # production codes)
+                m = np.abs(du).max()
+                scale = min(1.0, opts.max_update / m) if m > 0 else 1.0
+                q += scale * du
 
+    metrics.gauge("newton.final_residual").set(history[-1] if history else 0.0)
     return SolveResult(
         q=q,
         steps=step,

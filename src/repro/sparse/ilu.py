@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
 from .bcsr import BCSRMatrix
 from .fill import ilu_symbolic
 from .levels import LevelSchedule, build_levels
@@ -256,6 +257,10 @@ def ilu_factorize(matrix: BCSRMatrix, plan: ILUPlan) -> ILUFactor:
     """
     if matrix.vals.shape[1] != plan.b:
         raise ValueError("block size mismatch between matrix and plan")
+    met = get_metrics()
+    met.counter("ilu.factorizations").inc()
+    met.gauge("ilu.factor_nnzb").set(plan.factor_nnzb)
+    met.gauge("ilu.fwd_levels").set(len(plan.schedule.levels))
     vals = np.zeros((plan.factor_nnzb, plan.b, plan.b))
     vals[plan.orig_map] = matrix.vals
     diag_inv = np.zeros((plan.n, plan.b, plan.b))

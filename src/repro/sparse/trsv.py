@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
 from .ilu import ILUFactor
 
 __all__ = ["trsv_solve", "trsv_solve_sequential"]
@@ -32,6 +33,9 @@ def trsv_solve(factor: ILUFactor, rhs: np.ndarray) -> np.ndarray:
     flat = rhs.ndim == 1
     b = rhs.reshape(plan.n, plan.b)
     vals, diag_inv = factor.vals, factor.diag_inv
+    met = get_metrics()
+    met.counter("trsv.solves").inc()
+    met.counter("trsv.block_ops").inc(plan.solve_block_ops())
 
     # forward: y_i = b_i - sum_k L_ik y_k
     y = np.zeros_like(b)

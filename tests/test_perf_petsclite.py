@@ -74,6 +74,40 @@ class TestPerfRegistry:
         reg.clear()
         assert not reg.records
 
+    def test_use_registry_restores_on_exception(self):
+        """Regression: the previous registry must come back after a raise."""
+        outer = get_registry()
+        inner = PerfRegistry()
+        with pytest.raises(RuntimeError):
+            with use_registry(inner):
+                assert get_registry() is inner
+                raise RuntimeError("kernel blew up")
+        assert get_registry() is outer
+
+    def test_use_registry_reentrant_swaps(self):
+        """Regression: nested/leaked pushes must not corrupt the stack."""
+        from repro.perf import profile as perf_profile
+
+        outer = get_registry()
+        a, b, c = PerfRegistry(), PerfRegistry(), PerfRegistry()
+        with use_registry(a):
+            with use_registry(b):
+                # a buggy consumer pushes without ever popping
+                perf_profile._stack.append(c)
+                assert get_registry() is c
+            # exiting b truncates the leak too: a is active again
+            assert get_registry() is a
+        assert get_registry() is outer
+
+    def test_use_registry_nested_exception_unwinds_cleanly(self):
+        outer = get_registry()
+        a, b = PerfRegistry(), PerfRegistry()
+        with pytest.raises(ValueError):
+            with use_registry(a):
+                with use_registry(b):
+                    raise ValueError
+        assert get_registry() is outer
+
 
 class TestVectorPrimitives:
     def setup_method(self):
@@ -155,3 +189,42 @@ class TestReportFormatting:
         s = format_series("n", [1, 2], {"time": [0.5, 0.25]})
         assert "time" in s
         assert "0.5" in s or "0.500" in s
+
+    def test_empty_rows_returns_headers_and_rule(self):
+        """Regression: an empty table must format, not raise."""
+        s = format_table(["kernel", "share"], [])
+        lines = s.splitlines()
+        assert len(lines) == 2
+        assert "kernel" in lines[0] and "share" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty_rows_with_title(self):
+        s = format_table(["a"], [], title="T")
+        assert s.splitlines() == ["T", "a", "-"]
+
+    def test_short_rows_padded(self):
+        s = format_table(["a", "b", "c"], [[1], [1, 2, 3]])
+        lines = s.splitlines()
+        assert len(lines) == 4
+        # every data line has cells only under its own columns
+        assert lines[2].rstrip().endswith("1") is False or "1" in lines[2]
+
+    def test_empty_cell_row(self):
+        # a row that is itself empty formats as a blank line of cells
+        s = format_table(["a", "b"], [[]])
+        assert len(s.splitlines()) == 3
+
+    def test_format_profile_renders_tree(self):
+        from repro.obs import Tracer
+        from repro.perf import format_profile
+
+        tr = Tracer(clock=iter(range(100)).__next__)
+        with tr.span("solve"):
+            with tr.span("flux"):
+                pass
+        out = format_profile(tr.roots, title="P")
+        assert out.startswith("P")
+        assert "solve" in out and "flux" in out and "TOTAL" in out
+        # child is indented under parent
+        flux_line = next(ln for ln in out.splitlines() if "flux" in ln)
+        assert flux_line.startswith("  ")
