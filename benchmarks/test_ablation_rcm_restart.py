@@ -9,7 +9,6 @@ PETSc-FUN3D; the sweep shows the compute/memory trade-off around the
 default restart of 30.
 """
 
-import numpy as np
 import pytest
 
 from repro.cfd import FlowConfig, FlowField

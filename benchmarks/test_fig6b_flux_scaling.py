@@ -5,11 +5,16 @@ absolute performance; "Basic partitioning with replication" (natural-order
 vertices, owner-only writes) is faster but burdened by redundant compute
 (41% extra at 20 threads); "METIS based partitioning" is fastest and scales
 almost linearly.
+
+Two tiers here (see DESIGN.md "Measured vs. modeled"): the model table
+prices the paper's 10-core Xeon; the measured table times the real
+process-parallel backend on this host and asserts the same strategy
+ordering the paper found.
 """
 
 import pytest
 
-from repro.perf import format_series
+from repro.perf import format_series, format_table
 from repro.smp import (
     XEON_E5_2690_V2,
     EdgeLoopExecutor,
@@ -19,10 +24,12 @@ from repro.smp import (
     metis_thread_labels,
     natural_thread_labels,
 )
+from repro.smp.bench import run_flux_scaling
 
 from conftest import emit
 
 CORES = [1, 2, 4, 6, 8, 10]
+MEASURED_WORKERS = (1, 2, 4)
 
 
 def _scaling_series(mesh):
@@ -93,3 +100,53 @@ def test_fig6b_flux_strategy_scaling(benchmark, mesh_c, capsys):
         assert series["atomics"][i] > 0.93 * series["atomics"][i - 1]
     # natural-order replication wastes much more work than METIS
     assert rn > 2.5 * rm
+
+
+@pytest.mark.benchmark(group="fig6b")
+def test_fig6b_flux_strategy_scaling_measured(benchmark, mesh_c, capsys):
+    """Measured counterpart: the same strategies timed for real, as worker
+    processes over shared memory (model curves above, wall clock here)."""
+    doc = benchmark.pedantic(
+        lambda: run_flux_scaling(
+            mesh_c, workers=MEASURED_WORKERS, repeats=3,
+            dataset=mesh_c.name, scale=1.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [
+            r["strategy"], str(r["workers"]),
+            f"{1e3 * r['wall_seconds']:.2f}", f"{r['speedup']:.2f}x",
+            f"{100 * r['redundant_edge_fraction']:.1f}%",
+            "-" if r["model_seconds"] is None
+            else f"{1e3 * r['model_seconds']:.2f}",
+        ]
+        for r in doc["results"]
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["strategy", "workers", "wall ms", "speedup", "redundant",
+             "model ms"],
+            rows,
+            title="Fig 6b (measured): process-parallel flux kernel, "
+            f"serial {1e3 * doc['serial']['wall_seconds']:.2f} ms",
+        ),
+    )
+
+    by = {(r["strategy"], r["workers"]): r for r in doc["results"]}
+    wmax = max(MEASURED_WORKERS)
+    # numerics are strategy-independent — for real, across processes
+    for r in doc["results"]:
+        assert r["max_abs_dev"] <= 1e-12
+    # the paper's headline ordering at full width: owner-only METIS writes
+    # beat the lock-guarded (atomics stand-in) scatter
+    assert (
+        by[("owner-metis", wmax)]["wall_seconds"]
+        < by[("locked", wmax)]["wall_seconds"]
+    )
+    # METIS partitions waste far less redundant compute than natural chunks
+    assert (
+        by[("owner-metis", wmax)]["redundant_edge_fraction"]
+        < by[("owner-natural", wmax)]["redundant_edge_fraction"]
+    )

@@ -8,7 +8,6 @@ The model runs at the paper's Mesh-D size; the convergence-degradation side
 reduced-scale additive-Schwarz solves.
 """
 
-import numpy as np
 import pytest
 
 from repro.cfd import FlowConfig, FlowField

@@ -15,9 +15,7 @@ in seconds instead of hours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from ..cfd.state import FlowConfig, FlowField
 from ..obs.metrics import MetricsRegistry, use_metrics

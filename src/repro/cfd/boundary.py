@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .flux import rusanov_edge_flux
 from .state import FlowField
 
 __all__ = ["wall_flux", "wall_residual", "farfield_residual"]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..smp.backend import get_edge_backend
 from .state import FlowField
 
 __all__ = [
@@ -118,7 +119,17 @@ def interior_flux_residual(
     First order when ``grad`` is None; otherwise states are reconstructed to
     the edge midpoint with the (optionally limited) gradients:
     ``q_L = q[e0] + psi_0 * grad[e0] . (x_mid - x_0)``.
+
+    When a process-parallel edge backend is installed for this field
+    (:func:`repro.smp.use_edge_backend`), the whole compute+scatter loop
+    runs across its worker processes instead; the result agrees with the
+    sequential path to round-off by the backend's contract.
     """
+    backend = get_edge_backend()
+    if backend is not None and backend.handles(field):
+        return backend.flux_residual(
+            q, beta, grad=grad, limiter=limiter, scheme=scheme
+        )
     ql = q[field.e0]
     qr = q[field.e1]
     if grad is not None:

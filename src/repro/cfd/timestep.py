@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .flux import edge_spectral_radius
-from .state import FlowConfig, FlowField, freestream_state
+from .state import FlowConfig, FlowField
 
 __all__ = ["local_timestep", "ser_cfl"]
 

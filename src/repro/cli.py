@@ -8,6 +8,11 @@ Commands
 ``speedup``     price a run under baseline + optimized configs (Fig 8a)
 ``scaling``     multi-node strong-scaling table (Fig 9-11)
 ``partition``   partition-quality study (natural / RCB / multilevel)
+``bench``       measured flux-kernel scaling sweep -> BENCH_flux_scaling.json
+
+``solve`` and ``profile`` accept ``--backend process --workers N`` to run
+the flux/gradient edge loops across real worker processes over shared
+memory (``--edge-strategy`` picks locked / replicate / owner writes).
 
 Every command works on the generated ONERA-M6-like datasets; ``--scale``
 sizes them (1.0 = full Mesh-C'/Mesh-D' analogues).  ``solve``, ``profile``
@@ -19,8 +24,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -58,6 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--metrics-out", metavar="PATH",
                         help="write a JSONL span/event/metrics log")
 
+    def add_backend_args(sp):
+        sp.add_argument(
+            "--backend", choices=["serial", "process"], default="serial",
+            help="edge-kernel executor: in-process NumPy or worker processes"
+        )
+        sp.add_argument("--workers", type=int, default=2,
+                        help="worker processes for --backend process")
+        sp.add_argument(
+            "--edge-strategy", choices=["locked", "replicate", "owner"],
+            default="owner", help="process-backend scatter strategy"
+        )
+        sp.add_argument("--partitioner", choices=["metis", "natural"],
+                        default="metis",
+                        help="vertex ownership labels for the owner strategy")
+
     def add_solve_args(sp):
         add_mesh_args(sp)
         sp.add_argument("--ilu", type=int, default=1, help="ILU fill level")
@@ -67,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--aoa", type=float, default=3.0)
         sp.add_argument("--max-steps", type=int, default=100)
         sp.add_argument("--rtol", type=float, default=1e-6)
+        add_backend_args(sp)
         add_obs_args(sp)
 
     sp = sub.add_parser("mesh-info", help="generate and validate a dataset")
@@ -98,6 +117,31 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("partition", help="partition quality study")
     add_mesh_args(sp)
     sp.add_argument("--parts", type=int, default=20)
+
+    sp = sub.add_parser(
+        "bench",
+        help="measured flux-kernel scaling sweep (workers x strategies)",
+    )
+    add_mesh_args(sp)
+    sp.add_argument("--workers", type=int, default=4,
+                    help="max worker count of the sweep")
+    sp.add_argument("--strategies", nargs="+",
+                    default=["locked", "replicate", "owner-natural",
+                             "owner-metis"],
+                    help="strategy labels to measure")
+    sp.add_argument("--repeats", type=int, default=5,
+                    help="timed repetitions per configuration (min is kept)")
+    sp.add_argument("--quick", action="store_true",
+                    help="smoke mode: measure only --workers, 3 repeats")
+    sp.add_argument("--out", default="BENCH_flux_scaling.json",
+                    help="output JSON path")
+    sp.add_argument("--gate", action="store_true",
+                    help="exit 1 if residuals diverge or owner-writes "
+                         "regresses vs serial (CI benchmark gate)")
+    sp.add_argument("--gate-tol", type=float, default=1e-12,
+                    help="max |parallel - serial| residual deviation")
+    sp.add_argument("--gate-slowdown", type=float, default=1.25,
+                    help="max owner-writes wall time as a multiple of serial")
     return p
 
 
@@ -159,6 +203,8 @@ def _reconciliation(tracer, registry) -> float:
 
 
 def _run_solve(args):
+    from contextlib import nullcontext
+
     from .apps import Fun3dApp, OptimizationConfig
     from .cfd import FlowConfig
     from .solver import SolverOptions
@@ -173,7 +219,25 @@ def _run_solve(args):
             n_subdomains=args.subdomains,
         ),
     )
-    res = app.run(OptimizationConfig.baseline(ilu_fill=args.ilu))
+    backend_cm = install_cm = nullcontext()
+    if getattr(args, "backend", "serial") == "process":
+        from .smp import ProcessEdgeBackend, use_edge_backend
+
+        backend_cm = ProcessEdgeBackend(
+            app.field,
+            n_workers=args.workers,
+            strategy=args.edge_strategy,
+            partitioner=args.partitioner,
+            seed=args.seed,
+        )
+        install_cm = use_edge_backend(backend_cm)
+        print(
+            f"edge backend: process x{args.workers} "
+            f"({backend_cm.strategy_label}, redundant edges "
+            f"{100 * backend_cm.redundant_edge_fraction:.1f}%)"
+        )
+    with backend_cm, install_cm:
+        res = app.run(OptimizationConfig.baseline(ilu_fill=args.ilu))
     return app, res
 
 
@@ -315,6 +379,64 @@ def cmd_partition(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .perf import format_table
+    from .smp.bench import gate_failures, run_flux_scaling, write_bench_json
+
+    if args.quick:
+        worker_list = [max(1, args.workers)]
+        repeats = min(args.repeats, 3)
+    else:
+        worker_list, w = [1], 2
+        while w < args.workers:
+            worker_list.append(w)
+            w *= 2
+        if args.workers > 1:
+            worker_list.append(args.workers)
+        repeats = args.repeats
+
+    mesh = _make_mesh(args)
+    doc = run_flux_scaling(
+        mesh,
+        workers=tuple(worker_list),
+        strategies=tuple(args.strategies),
+        repeats=repeats,
+        seed=args.seed,
+        dataset=args.dataset,
+        scale=args.scale,
+    )
+    write_bench_json(doc, args.out)
+
+    rows = [
+        [
+            r["strategy"], str(r["workers"]),
+            f"{1e3 * r['wall_seconds']:.2f}", f"{r['speedup']:.2f}x",
+            f"{100 * r['redundant_edge_fraction']:.1f}%",
+            f"{r['max_abs_dev']:.1e}",
+        ]
+        for r in doc["results"]
+    ]
+    print(format_table(
+        ["strategy", "workers", "wall ms", "speedup", "redundant",
+         "max dev"],
+        rows,
+        title=f"{mesh.name}: measured flux-kernel scaling "
+              f"(serial {1e3 * doc['serial']['wall_seconds']:.2f} ms, "
+              f"best of {repeats})",
+    ))
+    print(f"wrote {args.out}")
+    if args.gate:
+        failures = gate_failures(
+            doc, tol=args.gate_tol, max_slowdown=args.gate_slowdown
+        )
+        for msg in failures:
+            print(f"GATE FAIL: {msg}")
+        if failures:
+            return 1
+        print("GATE OK: residual equivalence + owner-writes performance")
+    return 0
+
+
 _COMMANDS = {
     "mesh-info": cmd_mesh_info,
     "solve": cmd_solve,
@@ -322,6 +444,7 @@ _COMMANDS = {
     "speedup": cmd_speedup,
     "scaling": cmd_scaling,
     "partition": cmd_partition,
+    "bench": cmd_bench,
 }
 
 

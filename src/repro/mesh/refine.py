@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .core import UnstructuredMesh, extract_edges
+from .core import UnstructuredMesh
 from .generator import _fix_orientation
 
 __all__ = ["refine_mesh"]

@@ -1,5 +1,12 @@
-"""Shared-memory machine model, cost models and executable thread strategies."""
+"""Shared-memory machine model, cost models and executable thread strategies.
 
+Two execution tiers live here: the *simulated* strategies + calibrated
+cost models (``cost``/``machine``/``strategies``), and the *measured*
+process-parallel backend (``shm``/``backend``/``parallel``/``bench``) that
+really runs the edge kernels across worker processes over shared memory.
+"""
+
+from .backend import get_edge_backend, use_edge_backend
 from .cost import (
     FLUX_WORK_PER_EDGE,
     GRAD_WORK_PER_EDGE,
@@ -17,6 +24,8 @@ from .cost import (
     vertex_loop_time,
 )
 from .machine import STAMPEDE_E5_2680, XEON_E5_2690_V2, XEON_PHI_KNC, MachineModel
+from .parallel import STRATEGIES, ProcessEdgeBackend
+from .shm import SharedArrayPool
 from .strategies import (
     EdgeLoopExecutor,
     make_edge_loop_options,
@@ -49,4 +58,9 @@ __all__ = [
     "metis_thread_labels",
     "natural_thread_labels",
     "tri_solve_options_from_plan",
+    "ProcessEdgeBackend",
+    "STRATEGIES",
+    "SharedArrayPool",
+    "get_edge_backend",
+    "use_edge_backend",
 ]

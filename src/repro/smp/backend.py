@@ -1,0 +1,43 @@
+"""Active edge-kernel backend registry.
+
+The CFD kernels (:func:`repro.cfd.flux.interior_flux_residual`,
+:func:`repro.cfd.gradient.lsq_gradients`) stay written as plain sequential
+NumPy; installing a backend here reroutes their edge loops to an alternate
+executor — today :class:`repro.smp.parallel.ProcessEdgeBackend` — without
+the kernels or their callers changing signature.  Mirrors the
+``use_registry``/``use_tracer`` contract from :mod:`repro.perf` /
+:mod:`repro.obs`: a stack, truncation-on-exit reentrancy, and a cheap
+``None`` default when nothing is installed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["get_edge_backend", "use_edge_backend"]
+
+_stack: list = []
+
+
+def get_edge_backend():
+    """The innermost installed edge backend, or ``None``."""
+    return _stack[-1] if _stack else None
+
+
+@contextmanager
+def use_edge_backend(backend):
+    """Route edge-kernel execution inside the block through ``backend``.
+
+    A backend must provide ``handles(field) -> bool``,
+    ``flux_residual(q, beta, grad=, limiter=, scheme=)`` and
+    ``gradients(q)``; kernels fall back to their sequential path whenever
+    ``handles`` declines (different field, unsupported configuration).
+    """
+    depth = len(_stack)
+    _stack.append(backend)
+    try:
+        yield backend
+    finally:
+        # truncate instead of pop: restores the outer backend even if
+        # inner code leaked pushes (same contract as use_tracer)
+        del _stack[depth:]

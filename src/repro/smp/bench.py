@@ -1,0 +1,215 @@
+"""Measured flux-kernel scaling: the wall-clock counterpart of Fig 6b.
+
+Everything in ``benchmarks/`` prices strategies with the calibrated cost
+models; this module *times* the real :class:`ProcessEdgeBackend` against
+the real sequential kernel and emits ``BENCH_flux_scaling.json`` so the
+model curves finally sit next to measured points.  Document schema
+(``repro.bench.flux_scaling/v1``)::
+
+    {
+      "schema": "repro.bench.flux_scaling/v1",
+      "dataset": "mesh-c", "scale": 0.12, "seed": 7,
+      "n_vertices": ..., "n_edges": ..., "repeats": 5, "beta": 4.0,
+      "serial": {"wall_seconds": ...},
+      "results": [
+        {"strategy": "owner-metis",       # locked | replicate |
+                                          # owner-natural | owner-metis
+         "workers": 4,
+         "wall_seconds": ...,             # best of `repeats` timed calls
+         "speedup": ...,                  # serial wall / this wall
+         "redundant_edge_fraction": ...,  # cut edges computed twice
+         "max_abs_dev": ...,              # vs the serial residual
+         "model_seconds": ...}            # cost-model prediction (or null)
+      ]
+    }
+
+The paper's Fig 6 ordering (owner-only METIS writes beating the atomics
+stand-in) and the strategy-independence of the numerics are what the CI
+``bench-smoke`` job gates on — see :func:`gate_failures`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from .cost import edge_loop_time, flux_kernel_work
+from .machine import XEON_E5_2690_V2
+from .parallel import ProcessEdgeBackend
+from .strategies import (
+    EdgeLoopExecutor,
+    make_edge_loop_options,
+    metis_thread_labels,
+    natural_thread_labels,
+)
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_STRATEGIES",
+    "run_flux_scaling",
+    "gate_failures",
+    "write_bench_json",
+]
+
+SCHEMA = "repro.bench.flux_scaling/v1"
+DEFAULT_STRATEGIES = ("locked", "replicate", "owner-natural", "owner-metis")
+
+
+def _split(label: str) -> tuple[str, str | None]:
+    """``owner-metis`` -> ``("owner", "metis")``; plain labels pass through."""
+    if label.startswith("owner-"):
+        return "owner", label.split("-", 1)[1]
+    return label, None
+
+
+def _bench_state(field, seed: int) -> np.ndarray:
+    """A mildly perturbed freestream-like state (deterministic)."""
+    rng = np.random.default_rng(seed)
+    q = np.tile(np.array([0.0, 1.0, 0.05, 0.0]), (field.n_vertices, 1))
+    return q + 0.05 * rng.normal(size=q.shape)
+
+
+def _time_call(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall seconds (min is the stable estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _model_seconds(mesh_edges, n_vertices, label: str, workers: int,
+                   seed: int) -> float | None:
+    """Cost-model prediction for one measured configuration.
+
+    ``locked`` maps to the model's ``atomic`` strategy, ``owner-*`` to the
+    model's owner-writes ``replicate`` strategy with the matching labels.
+    The per-worker-accumulator ``replicate`` strategy has no counterpart in
+    the paper's model set, so it gets no prediction.
+    """
+    strategy, partitioner = _split(label)
+    if workers <= 1:
+        ex = EdgeLoopExecutor(mesh_edges, n_vertices, 1, "sequential")
+    elif strategy == "locked":
+        ex = EdgeLoopExecutor(mesh_edges, n_vertices, workers, "atomic")
+    elif strategy == "owner":
+        labels = (
+            metis_thread_labels(mesh_edges, n_vertices, workers, seed=seed)
+            if partitioner == "metis"
+            else natural_thread_labels(n_vertices, workers)
+        )
+        ex = EdgeLoopExecutor(
+            mesh_edges, n_vertices, workers, "replicate", labels
+        )
+    else:
+        return None
+    work = flux_kernel_work(mesh_edges.shape[0])
+    return edge_loop_time(XEON_E5_2690_V2, work, make_edge_loop_options(ex))
+
+
+def run_flux_scaling(
+    mesh,
+    workers: tuple[int, ...] = (1, 2, 4),
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+    repeats: int = 5,
+    beta: float = 4.0,
+    seed: int = 7,
+    dataset: str = "?",
+    scale: float = 0.0,
+) -> dict:
+    """Sweep workers x strategies over the real flux edge loop.
+
+    Returns the JSON-ready document described in the module docstring.
+    """
+    from ..cfd.flux import interior_flux_residual
+    from ..cfd.state import FlowField
+
+    field = FlowField(mesh)
+    q = _bench_state(field, seed)
+
+    ref = interior_flux_residual(field, q, beta)
+    serial_wall = _time_call(
+        lambda: interior_flux_residual(field, q, beta), repeats
+    )
+
+    results = []
+    for w in workers:
+        for label in strategies:
+            strategy, partitioner = _split(label)
+            with ProcessEdgeBackend(
+                field,
+                n_workers=w,
+                strategy=strategy,
+                partitioner=partitioner or "metis",
+                seed=seed,
+            ) as be:
+                res = be.flux_residual(q, beta)  # warm-up + correctness
+                dev = float(np.max(np.abs(res - ref)))
+                wall = _time_call(lambda: be.flux_residual(q, beta), repeats)
+                redundant = float(be.redundant_edge_fraction)
+            results.append({
+                "strategy": label,
+                "workers": int(w),
+                "wall_seconds": wall,
+                "speedup": serial_wall / wall,
+                "redundant_edge_fraction": redundant,
+                "max_abs_dev": dev,
+                "model_seconds": _model_seconds(
+                    mesh.edges, mesh.n_vertices, label, w, seed
+                ),
+            })
+    return {
+        "schema": SCHEMA,
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "n_vertices": int(mesh.n_vertices),
+        "n_edges": int(mesh.n_edges),
+        "repeats": int(repeats),
+        "beta": beta,
+        "serial": {"wall_seconds": serial_wall},
+        "results": results,
+    }
+
+
+def gate_failures(
+    doc: dict,
+    tol: float = 1e-12,
+    max_slowdown: float = 1.25,
+    gate_strategy: str = "owner-metis",
+) -> list[str]:
+    """Benchmark-regression gate for CI.  Returns failure messages.
+
+    Two checks: (1) every strategy/worker combination reproduced the serial
+    residual within ``tol`` (the paper's numerics-must-not-change rule);
+    (2) the owner-writes backend at the largest measured worker count is
+    not slower than serial by more than ``max_slowdown``x.
+    """
+    failures = []
+    for r in doc["results"]:
+        if not (r["max_abs_dev"] <= tol):
+            failures.append(
+                f"{r['strategy']} @ {r['workers']}w deviates from serial by "
+                f"{r['max_abs_dev']:.3e} (tolerance {tol:.0e})"
+            )
+    gated = [r for r in doc["results"] if r["strategy"] == gate_strategy]
+    if not gated:
+        failures.append(f"gate strategy {gate_strategy!r} was not measured")
+    else:
+        r = max(gated, key=lambda r: r["workers"])
+        slowdown = r["wall_seconds"] / doc["serial"]["wall_seconds"]
+        if slowdown > max_slowdown:
+            failures.append(
+                f"{r['strategy']} @ {r['workers']}w is {slowdown:.2f}x the "
+                f"serial wall time (gate {max_slowdown:.2f}x)"
+            )
+    return failures
+
+
+def write_bench_json(doc: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")

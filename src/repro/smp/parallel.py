@@ -1,0 +1,504 @@
+"""Process-parallel shared-memory execution of the edge kernels.
+
+Everything else in :mod:`repro.smp` *prices* the paper's threading
+strategies with cost models; this module *runs* them.  A
+:class:`ProcessEdgeBackend` forks N worker processes that execute the
+interior flux-residual edge loop (and the LSQ gradient edge loop) over
+``multiprocessing.shared_memory`` arrays, one worker per simulated thread,
+implementing the paper's three edge-threading strategies (Section V.A):
+
+``locked``
+    Natural-order edge split; every worker scatters into the one shared
+    residual array under a lock, acquired per small block of edges.  This
+    is the Python stand-in for "basic partitioning with atomics": the
+    compute phase parallelizes, the write-out phase serializes and pays a
+    synchronization toll per conflict granule.
+``replicate``
+    Natural-order edge split with one private accumulator array per
+    worker; the parent reduces the ``(workers, nv, 4)`` slab at the end.
+    Zero redundant compute, but the write-out traffic (and the reduction)
+    scales with worker count — the classic replication trade.
+``owner``
+    Vertex partition (``metis`` multilevel labels or ``natural``
+    contiguous chunks); a worker processes every edge touching one of its
+    vertices but writes only the endpoints it owns, so workers write
+    disjoint rows of the shared residual with no synchronization at all.
+    Cut edges are computed twice (``redundant_edge_fraction``) — the
+    paper's winning owner-only-writes scheme.
+
+Numerics contract: all three reproduce the sequential kernels to round-off
+(summation order may differ), property-tested in
+``tests/test_smp_parallel.py``.
+
+Implementation notes.  Workers are created with the ``fork`` start method:
+read-only structural data (edge endpoints, normals, partition index lists)
+is inherited copy-on-write, while everything mutated across calls — the
+state ``q``, gradients, limiter, residual/accumulator outputs — lives in a
+:class:`~repro.smp.shm.SharedArrayPool` so writes are visible both ways.
+Worker wall-clock intervals come back with every task and are attached to the
+active :mod:`repro.obs` tracer as ``flux.w<i>`` / ``grad.w<i>`` spans
+(``fork`` keeps ``perf_counter`` clocks comparable across the processes).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import multiprocessing.connection as mp_conn
+import os
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Any
+
+import numpy as np
+
+from ..obs.metrics import get_metrics
+from ..obs.span import get_tracer
+from .shm import SharedArrayPool
+from .strategies import metis_thread_labels, natural_thread_labels
+
+__all__ = ["ProcessEdgeBackend", "STRATEGIES"]
+
+STRATEGIES = ("locked", "replicate", "owner")
+
+
+@dataclass
+class _WorkerSpec:
+    """Per-worker view of the shared problem (inherited through fork).
+
+    Edge-indexed inputs are *pre-gathered* into contiguous per-worker
+    copies at construction time (the backend is built once per field, then
+    called every residual evaluation), so the hot loop streams its chunk
+    without an extra index indirection — the paper's "edge data in streamed
+    SoA order" layout point applied to the worker chunks.
+    """
+
+    wid: int
+    strategy: str
+    lock_block: int
+    w0: np.ndarray | None  # owner strategy: write mask for endpoint 0
+    w1: np.ndarray | None
+    e0: np.ndarray  # this worker's edge endpoints (contiguous copies)
+    e1: np.ndarray
+    normals: np.ndarray
+    d0: np.ndarray  # midpoint - x[e0]
+    d1: np.ndarray
+    dx: np.ndarray  # x[e1] - x[e0]
+    q: np.ndarray
+    grad: np.ndarray
+    limiter: np.ndarray
+    res: np.ndarray
+    rhs: np.ndarray
+    acc: np.ndarray | None = dc_field(default=None)  # this worker's slab
+    acc_rhs: np.ndarray | None = dc_field(default=None)
+
+
+def _run_flux(spec: _WorkerSpec, lock, beta, scheme, use_grad, use_limiter):
+    from ..cfd.flux import numerical_edge_flux
+
+    e0, e1, q = spec.e0, spec.e1, spec.q
+    ql = q[e0]
+    qr = q[e1]
+    if use_grad:
+        dq0 = np.einsum("nvi,ni->nv", spec.grad[e0], spec.d0)
+        dq1 = np.einsum("nvi,ni->nv", spec.grad[e1], spec.d1)
+        if use_limiter:
+            dq0 = dq0 * spec.limiter[e0]
+            dq1 = dq1 * spec.limiter[e1]
+        ql = ql + dq0
+        qr = qr + dq1
+    flux = numerical_edge_flux(ql, qr, spec.normals, beta, scheme)
+    if spec.strategy == "owner":
+        np.add.at(spec.res, e0[spec.w0], flux[spec.w0])
+        np.subtract.at(spec.res, e1[spec.w1], flux[spec.w1])
+    elif spec.strategy == "replicate":
+        spec.acc.fill(0.0)
+        np.add.at(spec.acc, e0, flux)
+        np.subtract.at(spec.acc, e1, flux)
+    else:  # locked scatter, one lock round-trip per conflict granule
+        blk = spec.lock_block
+        for s in range(0, e0.shape[0], blk):
+            e = s + blk
+            with lock:
+                np.add.at(spec.res, e0[s:e], flux[s:e])
+                np.subtract.at(spec.res, e1[s:e], flux[s:e])
+
+
+def _run_grad(spec: _WorkerSpec, lock):
+    e0, e1 = spec.e0, spec.e1
+    dq = spec.q[e1] - spec.q[e0]
+    contrib = dq[:, :, None] * spec.dx[:, None, :]
+    if spec.strategy == "owner":
+        np.add.at(spec.rhs, e0[spec.w0], contrib[spec.w0])
+        np.add.at(spec.rhs, e1[spec.w1], contrib[spec.w1])
+    elif spec.strategy == "replicate":
+        spec.acc_rhs.fill(0.0)
+        np.add.at(spec.acc_rhs, e0, contrib)
+        np.add.at(spec.acc_rhs, e1, contrib)
+    else:
+        blk = spec.lock_block
+        for s in range(0, e0.shape[0], blk):
+            e = s + blk
+            with lock:
+                np.add.at(spec.rhs, e0[s:e], contrib[s:e])
+                np.add.at(spec.rhs, e1[s:e], contrib[s:e])
+
+
+def _worker_loop(wid: int, spec: _WorkerSpec, conn, lock) -> None:
+    """Worker main: serve tasks off the duplex pipe until ``None`` arrives."""
+    while True:
+        try:
+            task = conn.recv()
+        except EOFError:  # parent is gone
+            break
+        if task is None:
+            break
+        kind, seq = task[0], task[1]
+        t0 = time.perf_counter()
+        err = None
+        try:
+            if kind == "flux":
+                _, _, beta, scheme, use_grad, use_limiter = task
+                _run_flux(spec, lock, beta, scheme, use_grad, use_limiter)
+            elif kind == "grad":
+                _run_grad(spec, lock)
+            elif kind == "sleep":  # test/diagnostic hook
+                time.sleep(task[2])
+            else:
+                raise ValueError(f"unknown task kind {kind!r}")
+        except Exception as exc:  # surfaced to the parent, never swallowed
+            err = f"{type(exc).__name__}: {exc}"
+        conn.send((wid, seq, t0, time.perf_counter(), err))
+
+
+class ProcessEdgeBackend:
+    """Multiprocess executor of the flux/gradient edge loops on one field.
+
+    Parameters
+    ----------
+    field:
+        the :class:`~repro.cfd.state.FlowField` whose edge loops to run.
+    n_workers:
+        worker process count (the paper's "threads").
+    strategy:
+        ``locked`` | ``replicate`` | ``owner`` (see module docstring).
+    partitioner:
+        vertex labeling for ``owner``: ``metis`` (multilevel) or
+        ``natural`` (contiguous chunks).  Ignored otherwise.
+    lock_block:
+        edges per lock acquisition in the ``locked`` scatter — the
+        conflict granule of the atomics stand-in.
+    timeout:
+        seconds to wait for a worker round before declaring it dead.
+    """
+
+    def __init__(
+        self,
+        field,
+        n_workers: int = 2,
+        strategy: str = "owner",
+        partitioner: str = "metis",
+        seed: int = 0,
+        lock_block: int = 64,
+        timeout: float = 120.0,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; pick one of {STRATEGIES}"
+            )
+        if partitioner not in ("metis", "natural"):
+            raise ValueError(f"unknown partitioner {partitioner!r}")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessEdgeBackend needs the 'fork' start method "
+                "(POSIX only); use the serial backend on this platform"
+            )
+        self._field = field
+        self.n_workers = int(n_workers)
+        self.strategy = strategy
+        self.partitioner = partitioner if strategy == "owner" else None
+        self.timeout = float(timeout)
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self._broken = False
+        self._seq = 0
+
+        nv, ne = field.n_vertices, field.n_edges
+        w = self.n_workers
+
+        # --- shared (mutable across calls) state ----------------------
+        self._pool = SharedArrayPool()
+        q = self._pool.zeros("q", (nv, 4))
+        grad = self._pool.zeros("grad", (nv, 4, 3))
+        limiter = self._pool.zeros("limiter", (nv, 4))
+        res = self._pool.zeros("res", (nv, 4))
+        rhs = self._pool.zeros("rhs", (nv, 4, 3))
+        acc = acc_rhs = None
+        if strategy == "replicate":
+            acc = self._pool.zeros("acc", (w, nv, 4))
+            acc_rhs = self._pool.zeros("acc_rhs", (w, nv, 4, 3))
+        self._q, self._grad, self._limiter = q, grad, limiter
+        self._res, self._rhs = res, rhs
+        self._acc, self._acc_rhs = acc, acc_rhs
+
+        # --- edge partition (read-only, inherited by fork) ------------
+        self.labels = None
+        chunks: list[np.ndarray] = []
+        masks: list[tuple[np.ndarray, np.ndarray] | None] = []
+        if strategy == "owner":
+            edges = np.column_stack((field.e0, field.e1))
+            self.labels = (
+                metis_thread_labels(edges, nv, w, seed=seed)
+                if partitioner == "metis"
+                else natural_thread_labels(nv, w)
+            )
+            l0 = self.labels[field.e0]
+            l1 = self.labels[field.e1]
+            for s in range(w):
+                sel = np.where((l0 == s) | (l1 == s))[0]
+                chunks.append(sel)
+                masks.append((l0[sel] == s, l1[sel] == s))
+        else:
+            bounds = np.linspace(0, ne, w + 1).astype(np.int64)
+            for s in range(w):
+                chunks.append(np.arange(bounds[s], bounds[s + 1]))
+                masks.append(None)
+        self._chunks = chunks
+        self.redundant_edge_fraction = (
+            sum(c.shape[0] for c in chunks) - ne
+        ) / ne
+
+        # --- worker processes -----------------------------------------
+        ctx = mp.get_context("fork")
+        self._lock = ctx.Lock()
+        self._conns = []
+        self._workers = []
+        for s in range(w):
+            m = masks[s]
+            sel = chunks[s]
+            spec = _WorkerSpec(
+                wid=s,
+                strategy=strategy,
+                lock_block=int(lock_block),
+                w0=m[0] if m else None,
+                w1=m[1] if m else None,
+                e0=np.ascontiguousarray(field.e0[sel]),
+                e1=np.ascontiguousarray(field.e1[sel]),
+                normals=np.ascontiguousarray(field.enormals[sel]),
+                d0=np.ascontiguousarray(field.emid_d0[sel]),
+                d1=np.ascontiguousarray(field.emid_d1[sel]),
+                dx=np.ascontiguousarray(field.emid_d0[sel] * 2.0),
+                q=q,
+                grad=grad,
+                limiter=limiter,
+                res=res,
+                rhs=rhs,
+                acc=acc[s] if acc is not None else None,
+                acc_rhs=acc_rhs[s] if acc_rhs is not None else None,
+            )
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            p = ctx.Process(
+                target=_worker_loop,
+                args=(s, spec, child_conn, self._lock),
+                daemon=True,
+                name=f"repro-edge-w{s}",
+            )
+            p.start()
+            child_conn.close()  # parent keeps only its end
+            self._conns.append(parent_conn)
+            self._workers.append(p)
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    @property
+    def field(self):
+        return self._field
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def strategy_label(self) -> str:
+        """``locked`` / ``replicate`` / ``owner-metis`` / ``owner-natural``."""
+        if self.strategy == "owner":
+            return f"owner-{self.partitioner}"
+        return self.strategy
+
+    def edges_per_worker(self) -> np.ndarray:
+        return np.array([c.shape[0] for c in self._chunks], dtype=np.int64)
+
+    def handles(self, field) -> bool:
+        """True iff this backend can run edge loops for ``field`` now."""
+        return field is self._field and not self._closed and not self._broken
+
+    def segment_names(self) -> dict[str, str]:
+        return self._pool.segment_names()
+
+    # ------------------------------------------------------------------
+    def _require_usable(self) -> None:
+        """Refuse before touching the shared arrays: after ``close()`` the
+        segments are unmapped and a write would fault, not raise."""
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self._broken:
+            raise RuntimeError(
+                "backend is unusable after a worker failure; create a new one"
+            )
+
+    def _dispatch_collect(
+        self, task_tail: tuple, span_prefix: str | None = None
+    ) -> list[tuple[int, float, float]]:
+        """Send one task to every worker, wait for all results.
+
+        Raises ``RuntimeError`` (and marks the backend broken) if a worker
+        reports an exception, dies, or the round times out.
+        """
+        self._require_usable()
+        self._seq += 1
+        seq = self._seq
+        task = (task_tail[0], seq) + tuple(task_tail[1:])
+        for conn in self._conns:
+            conn.send(task)
+        results: list[tuple[int, float, float]] = []
+        pending = dict(enumerate(self._conns))
+        deadline = time.monotonic() + self.timeout
+        while pending:
+            ready = mp_conn.wait(list(pending.values()), timeout=0.2)
+            if not ready:
+                dead = [
+                    self._workers[i].name
+                    for i in pending
+                    if not self._workers[i].is_alive()
+                ]
+                if dead:
+                    self._broken = True
+                    raise RuntimeError(
+                        f"worker process(es) died mid-loop: {dead}"
+                    )
+                if time.monotonic() > deadline:
+                    self._broken = True
+                    raise RuntimeError(
+                        f"timed out after {self.timeout}s waiting for workers"
+                    )
+                continue
+            for conn in ready:
+                try:
+                    wid, rseq, t0, t1, err = conn.recv()
+                except EOFError:
+                    self._broken = True
+                    raise RuntimeError(
+                        "worker process died mid-loop (pipe closed)"
+                    ) from None
+                if rseq != seq:
+                    continue  # stale result from an aborted round
+                if err is not None:
+                    self._broken = True
+                    raise RuntimeError(f"worker {wid} failed: {err}")
+                results.append((wid, t0, t1))
+                del pending[wid]
+        tracer = get_tracer()
+        if span_prefix is not None and tracer.active:
+            for wid, t0, t1 in results:
+                tracer.add_complete(
+                    f"{span_prefix}.w{wid}",
+                    t0,
+                    t1,
+                    edges=int(self._chunks[wid].shape[0]),
+                    strategy=self.strategy_label,
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    def flux_residual(
+        self,
+        q: np.ndarray,
+        beta: float,
+        grad: np.ndarray | None = None,
+        limiter: np.ndarray | None = None,
+        scheme: str = "rusanov",
+    ) -> np.ndarray:
+        """Interior flux residual, parallel counterpart of
+        :func:`repro.cfd.flux.interior_flux_residual`."""
+        self._require_usable()
+        self._q[...] = q
+        if grad is not None:
+            self._grad[...] = grad
+        if limiter is not None:
+            self._limiter[...] = limiter
+        if self.strategy != "replicate":
+            self._res.fill(0.0)
+        self._dispatch_collect(
+            ("flux", float(beta), scheme, grad is not None, limiter is not None),
+            span_prefix="flux",
+        )
+        get_metrics().counter("parallel.flux_calls").inc()
+        if self.strategy == "replicate":
+            return self._acc.sum(axis=0)
+        return self._res.copy()
+
+    def gradients(self, q: np.ndarray) -> np.ndarray:
+        """LSQ gradients, parallel counterpart of
+        :func:`repro.cfd.gradient.lsq_gradients` (edge loop in the workers,
+        batched 3x3 solve in the parent)."""
+        self._require_usable()
+        self._q[...] = q
+        if self.strategy != "replicate":
+            self._rhs.fill(0.0)
+        self._dispatch_collect(("grad",), span_prefix="grad")
+        get_metrics().counter("parallel.grad_calls").inc()
+        rhs = (
+            self._acc_rhs.sum(axis=0)
+            if self.strategy == "replicate"
+            else self._rhs
+        )
+        return np.einsum("nij,nvj->nvi", self._field.lsq_inv, rhs)
+
+    def _debug_sleep(self, seconds: float) -> None:
+        """Park every worker in a sleep task (test hook for mid-loop kills)."""
+        self._dispatch_collect(("sleep", float(seconds)))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and unlink every shared segment.  Idempotent."""
+        if self._closed or os.getpid() != self._owner_pid:
+            return
+        self._closed = True
+        for i, p in enumerate(self._workers):
+            if p.is_alive():
+                try:
+                    self._conns[i].send(None)
+                except Exception:
+                    pass
+        for p in self._workers:
+            p.join(timeout=2.0)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=2.0)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._pool.close()
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ProcessEdgeBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

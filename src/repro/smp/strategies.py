@@ -28,7 +28,7 @@ from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
-from ..partition.metrics import edges_per_part, replication_overhead
+from ..partition.metrics import replication_overhead
 from ..partition.multilevel import partition_graph
 from ..partition.simple import natural_partition
 from ..sparse.ilu import ILUPlan

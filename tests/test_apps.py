@@ -1,6 +1,5 @@
 """Tests for the full application driver and optimization configs."""
 
-import numpy as np
 import pytest
 
 from repro.apps import Fun3dApp, OptimizationConfig

@@ -1,6 +1,5 @@
 """Tests for aerodynamic force integration."""
 
-import numpy as np
 import pytest
 
 from repro.cfd import FlowConfig, FlowField, integrate_forces

@@ -12,8 +12,6 @@ from repro.cfd import (
     analytic_flux_jacobian,
     compute_residual,
     edge_spectral_radius,
-    freestream_state,
-    interior_flux_residual,
     local_timestep,
     lsq_gradients,
     pointwise_flux,

@@ -33,6 +33,20 @@ class TestParser:
         args = build_parser().parse_args(["scaling", "--nodes", "1", "8"])
         assert args.nodes == [1, 8]
 
+    def test_backend_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.backend == "serial"
+        assert args.workers == 2
+        assert args.edge_strategy == "owner"
+        assert args.partitioner == "metis"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.workers == 4
+        assert args.repeats == 5
+        assert not args.quick and not args.gate
+        assert args.out == "BENCH_flux_scaling.json"
+
 
 class TestCommands:
     def test_mesh_info(self, capsys):
@@ -80,6 +94,67 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "multilevel" in out
+
+
+class TestProcessBackend:
+    def test_solve_process_backend_matches_serial(self, capsys):
+        rc = main(["solve", "--scale", "0.02", "--max-steps", "60"])
+        serial_out = capsys.readouterr().out
+        rc2 = main([
+            "solve", "--scale", "0.02", "--max-steps", "60",
+            "--backend", "process", "--workers", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0 and rc2 == 0
+        assert "edge backend: process x2 (owner-metis" in out
+        # identical converged forces, line for line
+        serial_forces = [ln for ln in serial_out.splitlines() if "CL=" in ln]
+        forces = [ln for ln in out.splitlines() if "CL=" in ln]
+        assert forces == serial_forces
+
+    def test_profile_process_backend_has_worker_spans(self, capsys):
+        rc = main([
+            "profile", "--scale", "0.02", "--max-steps", "60",
+            "--backend", "process", "--workers", "2",
+            "--edge-strategy", "locked",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flux.w0" in out and "flux.w1" in out
+        assert "grad.w0" in out and "grad.w1" in out
+
+    def test_bench_writes_valid_document(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_flux_scaling.json"
+        rc = main([
+            "bench", "--quick", "--workers", "2", "--scale", "0.02",
+            "--repeats", "1", "--out", str(out_path),
+            "--gate", "--gate-slowdown", "1e9",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "GATE OK" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.bench.flux_scaling/v1"
+        assert doc["serial"]["wall_seconds"] > 0
+        labels = {(r["strategy"], r["workers"]) for r in doc["results"]}
+        assert labels == {
+            ("locked", 2), ("replicate", 2),
+            ("owner-natural", 2), ("owner-metis", 2),
+        }
+        for r in doc["results"]:
+            assert r["max_abs_dev"] <= 1e-12
+
+    def test_bench_gate_failure_sets_exit_code(self, tmp_path, capsys):
+        out_path = tmp_path / "b.json"
+        rc = main([
+            "bench", "--quick", "--workers", "2", "--scale", "0.02",
+            "--repeats", "1", "--strategies", "locked",
+            "--out", str(out_path), "--gate", "--gate-slowdown", "1e9",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1  # gate strategy owner-metis was not measured
+        assert "GATE FAIL" in out
+        assert out_path.exists()  # the artifact is written before gating
 
 
 class TestObservability:

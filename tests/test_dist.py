@@ -12,9 +12,8 @@ from repro.dist import (
     MultiNodeModel,
     NodeConfig,
     STAMPEDE_FDR,
-    FatTreeNetwork,
 )
-from repro.mesh import box_mesh, delaunay_cloud_mesh, wing_mesh
+from repro.mesh import delaunay_cloud_mesh, wing_mesh
 from repro.partition import natural_partition, partition_graph
 
 

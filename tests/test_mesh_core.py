@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.mesh import (
     UnstructuredMesh,
     box_mesh,
-    build_vertex_adjacency,
     closure_residual,
     delaunay_cloud_mesh,
     extract_edges,

@@ -1,0 +1,332 @@
+"""Tests for the process-parallel shared-memory edge-kernel backend.
+
+Covers the paper's ground rule (numerics identical to sequential for every
+strategy, now across real worker processes), the SharedArrayPool cleanup
+contract (context manager, atexit, crashed workers must not leak
+``/dev/shm`` segments), and the bench/gate machinery the CI job runs.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.cfd import FlowConfig, FlowField
+from repro.cfd.flux import interior_flux_residual
+from repro.cfd.gradient import lsq_gradients, venkat_limiter
+from repro.mesh import delaunay_cloud_mesh, wing_mesh
+from repro.obs import Tracer, use_tracer
+from repro.smp import ProcessEdgeBackend, SharedArrayPool, use_edge_backend
+from repro.smp.bench import gate_failures, run_flux_scaling
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _assert_unlinked(names):
+    """Every OS-level segment name must be gone (attach must fail)."""
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+@pytest.fixture(scope="module")
+def wing_setup():
+    mesh = wing_mesh(n_around=18, n_radial=6, n_span=5)
+    field = FlowField(mesh)
+    rng = np.random.default_rng(3)
+    q = field.initial_state(FlowConfig()) + 0.05 * rng.normal(
+        size=(field.n_vertices, 4)
+    )
+    return field, q
+
+
+class TestSharedArrayPool:
+    def test_zeros_and_from_array_roundtrip(self):
+        with SharedArrayPool() as pool:
+            z = pool.zeros("z", (5, 3))
+            assert z.shape == (5, 3) and np.all(z == 0.0)
+            src = np.arange(12.0).reshape(4, 3)
+            cp = pool.from_array("cp", src)
+            np.testing.assert_array_equal(cp, src)
+            assert pool.array("cp") is cp
+            assert pool.nbytes >= src.nbytes
+
+    def test_duplicate_key_rejected(self):
+        with SharedArrayPool() as pool:
+            pool.zeros("x", (2,))
+            with pytest.raises(ValueError):
+                pool.zeros("x", (2,))
+
+    def test_context_manager_unlinks_segments(self):
+        pool = SharedArrayPool()
+        pool.zeros("a", (16,))
+        names = list(pool.segment_names().values())
+        with pool:
+            pass
+        assert pool.closed
+        _assert_unlinked(names)
+
+    def test_close_idempotent_and_allocation_after_close_fails(self):
+        pool = SharedArrayPool()
+        pool.zeros("a", (4,))
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.zeros("b", (4,))
+
+    def test_atexit_cleans_up_without_explicit_close(self):
+        """A run that never reaches close() must still unlink at exit."""
+        script = (
+            "from repro.smp import SharedArrayPool\n"
+            "pool = SharedArrayPool()\n"
+            "pool.zeros('leaky', (1024,))\n"
+            "print(pool.segment_names()['leaky'])\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        name = out.stdout.strip()
+        assert name
+        _assert_unlinked([name])
+
+
+def serial_flux(field, q, beta=4.0):
+    return interior_flux_residual(field, q, beta)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize(
+        "strategy,partitioner",
+        [("locked", "metis"), ("replicate", "metis"),
+         ("owner", "natural"), ("owner", "metis")],
+    )
+    def test_flux_and_gradients_match_serial(
+        self, wing_setup, strategy, partitioner
+    ):
+        field, q = wing_setup
+        ref = serial_flux(field, q)
+        gref = lsq_gradients(field, q)
+        with ProcessEdgeBackend(
+            field, 3, strategy=strategy, partitioner=partitioner
+        ) as be:
+            np.testing.assert_allclose(
+                be.flux_residual(q, 4.0), ref, rtol=1e-12, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                be.gradients(q), gref, rtol=1e-12, atol=1e-12
+            )
+
+    def test_second_order_and_roe_paths(self, wing_setup):
+        field, q = wing_setup
+        grad = lsq_gradients(field, q)
+        lim = venkat_limiter(field, q, grad)
+        ref2 = interior_flux_residual(field, q, 4.0, grad, lim)
+        ref_roe = interior_flux_residual(field, q, 4.0, scheme="roe")
+        with ProcessEdgeBackend(field, 2) as be:
+            np.testing.assert_allclose(
+                be.flux_residual(q, 4.0, grad=grad, limiter=lim),
+                ref2, rtol=1e-12, atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                be.flux_residual(q, 4.0, scheme="roe"),
+                ref_roe, rtol=1e-12, atol=1e-12,
+            )
+
+    def test_kernel_dispatch_through_use_edge_backend(self, wing_setup):
+        field, q = wing_setup
+        ref = serial_flux(field, q)
+        gref = lsq_gradients(field, q)
+        with ProcessEdgeBackend(field, 2) as be, use_edge_backend(be):
+            np.testing.assert_allclose(
+                interior_flux_residual(field, q, 4.0), ref,
+                rtol=1e-12, atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                lsq_gradients(field, q), gref, rtol=1e-12, atol=1e-12
+            )
+        # outside the block the serial path is back and the backend is gone
+        from repro.smp import get_edge_backend
+
+        assert get_edge_backend() is None
+
+    def test_other_field_falls_back_to_serial(self, wing_setup):
+        field, q = wing_setup
+        other = FlowField(delaunay_cloud_mesh(60, seed=1))
+        with ProcessEdgeBackend(field, 2) as be, use_edge_backend(be):
+            assert not be.handles(other)
+            rng = np.random.default_rng(0)
+            qo = rng.normal(size=(other.n_vertices, 4))
+            res = interior_flux_residual(other, qo, 4.0)  # must not hang
+            assert res.shape == (other.n_vertices, 4)
+
+
+class TestBackendStructure:
+    def test_owner_covers_all_edges_with_replication(self, wing_setup):
+        field, _ = wing_setup
+        with ProcessEdgeBackend(field, 4, strategy="owner") as be:
+            per = be.edges_per_worker()
+            assert per.sum() >= field.n_edges
+            assert be.redundant_edge_fraction == pytest.approx(
+                (per.sum() - field.n_edges) / field.n_edges
+            )
+            assert be.redundant_edge_fraction > 0.0
+            assert be.strategy_label == "owner-metis"
+
+    def test_edge_split_strategies_have_no_redundancy(self, wing_setup):
+        field, _ = wing_setup
+        for strategy in ("locked", "replicate"):
+            with ProcessEdgeBackend(field, 4, strategy=strategy) as be:
+                assert be.edges_per_worker().sum() == field.n_edges
+                assert be.redundant_edge_fraction == 0.0
+
+    def test_rejects_bad_arguments(self, wing_setup):
+        field, _ = wing_setup
+        with pytest.raises(ValueError):
+            ProcessEdgeBackend(field, 2, strategy="bogus")
+        with pytest.raises(ValueError):
+            ProcessEdgeBackend(field, 2, partitioner="bogus")
+        with pytest.raises(ValueError):
+            ProcessEdgeBackend(field, 0)
+
+    def test_worker_spans_reach_the_tracer(self, wing_setup):
+        field, q = wing_setup
+        tracer = Tracer()
+        with ProcessEdgeBackend(field, 2) as be, use_tracer(tracer):
+            be.flux_residual(q, 4.0)
+            be.gradients(q)
+        names = {s.name for s in tracer.walk()}
+        assert {"flux.w0", "flux.w1", "grad.w0", "grad.w1"} <= names
+        for s in tracer.walk():
+            assert s.seconds > 0.0
+            assert s.attrs["strategy"] == "owner-metis"
+
+
+class TestFailureContainment:
+    def test_worker_exception_surfaces_and_marks_broken(self, wing_setup):
+        field, q = wing_setup
+        be = ProcessEdgeBackend(field, 2)
+        names = list(be.segment_names().values())
+        try:
+            with pytest.raises(RuntimeError, match="worker .* failed"):
+                be.flux_residual(q, 4.0, scheme="no-such-scheme")
+            assert not be.handles(field)
+            with pytest.raises(RuntimeError):
+                be.flux_residual(q, 4.0)
+        finally:
+            be.close()
+        _assert_unlinked(names)
+
+    def test_killed_worker_mid_loop_does_not_leak_segments(self, wing_setup):
+        """Regression: SIGKILL a worker while it is inside the edge loop;
+        the parent must detect the death, and teardown must still unlink
+        every /dev/shm segment."""
+        field, _ = wing_setup
+        be = ProcessEdgeBackend(field, 2)
+        names = list(be.segment_names().values())
+        victim = be._workers[0].pid
+        timer = threading.Timer(0.2, os.kill, args=(victim, signal.SIGKILL))
+        timer.start()
+        try:
+            with pytest.raises(RuntimeError, match="died|pipe"):
+                be._debug_sleep(3.0)
+            assert not be.handles(field)
+        finally:
+            timer.cancel()
+            be.close()
+        _assert_unlinked(names)
+
+    def test_close_is_idempotent_and_final(self, wing_setup):
+        field, q = wing_setup
+        be = ProcessEdgeBackend(field, 2)
+        be.flux_residual(q, 4.0)
+        be.close()
+        be.close()
+        assert be.closed and not be.handles(field)
+        with pytest.raises(RuntimeError):
+            be.flux_residual(q, 4.0)
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    n=st.integers(50, 90),
+    seed=st.integers(0, 20),
+    workers=st.integers(1, 4),
+    strategy=st.sampled_from(["locked", "replicate", "owner"]),
+)
+def test_process_strategy_equivalence_property(n, seed, workers, strategy):
+    """Property (paper Section V.A): every process-parallel strategy
+    reproduces the sequential flux residual within 1e-12 on arbitrary
+    small meshes and worker counts 1-4."""
+    mesh = delaunay_cloud_mesh(n, seed=seed)
+    field = FlowField(mesh)
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(field.n_vertices, 4))
+    ref = interior_flux_residual(field, q, 4.0)
+    with ProcessEdgeBackend(field, workers, strategy=strategy) as be:
+        res = be.flux_residual(q, 4.0)
+    np.testing.assert_allclose(res, ref, rtol=1e-12, atol=1e-12)
+
+
+class TestBenchAndGate:
+    @pytest.fixture(scope="class")
+    def bench_doc(self):
+        mesh = delaunay_cloud_mesh(150, seed=2)
+        return run_flux_scaling(
+            mesh, workers=(1, 2), strategies=("locked", "owner-metis"),
+            repeats=1, dataset="cloud", scale=1.0,
+        )
+
+    def test_document_schema(self, bench_doc):
+        doc = bench_doc
+        assert doc["schema"] == "repro.bench.flux_scaling/v1"
+        assert doc["serial"]["wall_seconds"] > 0
+        assert len(doc["results"]) == 4
+        for r in doc["results"]:
+            assert set(r) == {
+                "strategy", "workers", "wall_seconds", "speedup",
+                "redundant_edge_fraction", "max_abs_dev", "model_seconds",
+            }
+            assert r["wall_seconds"] > 0
+            assert r["speedup"] == pytest.approx(
+                doc["serial"]["wall_seconds"] / r["wall_seconds"]
+            )
+            assert r["max_abs_dev"] <= 1e-12
+
+    def test_gate_passes_on_equivalent_results(self, bench_doc):
+        assert gate_failures(bench_doc, max_slowdown=1e9) == []
+
+    def test_gate_flags_divergence_and_regression(self, bench_doc):
+        import copy
+
+        doc = copy.deepcopy(bench_doc)
+        doc["results"][0]["max_abs_dev"] = 1e-6
+        for r in doc["results"]:
+            if r["strategy"] == "owner-metis":
+                r["wall_seconds"] = 100.0 * doc["serial"]["wall_seconds"]
+        failures = gate_failures(doc, tol=1e-12, max_slowdown=1.25)
+        assert len(failures) == 2
+        assert any("deviates" in f for f in failures)
+        assert any("serial wall time" in f for f in failures)
+
+    def test_gate_requires_the_gated_strategy(self, bench_doc):
+        import copy
+
+        doc = copy.deepcopy(bench_doc)
+        doc["results"] = [
+            r for r in doc["results"] if r["strategy"] != "owner-metis"
+        ]
+        assert any(
+            "not measured" in f for f in gate_failures(doc, max_slowdown=1e9)
+        )

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cfd import FlowConfig, FlowField, rusanov_edge_flux, scatter_edge_flux
-from repro.mesh import box_mesh, delaunay_cloud_mesh, wing_mesh
+from repro.mesh import delaunay_cloud_mesh, wing_mesh
 from repro.smp import (
     EdgeLoopExecutor,
     make_edge_loop_options,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cfd import FlowConfig, FlowField, compute_residual, residual_norm
+from repro.cfd import FlowConfig, FlowField, compute_residual
 from repro.mesh import box_mesh, wing_mesh
 from repro.solver import (
     AdditiveSchwarzILU,
