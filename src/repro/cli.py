@@ -76,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
                         default="metis",
                         help="vertex ownership labels for the owner strategy")
 
+    def add_dist_args(sp):
+        sp.add_argument(
+            "--dist-ranks", type=int, default=0, metavar="N",
+            help="run the solve on N forked rank processes with real "
+                 "shared-memory halo exchange (0 = serial in-process)"
+        )
+        sp.add_argument("--pipelined", action="store_true",
+                        help="overlap interior compute with halo fills "
+                             "(requires --dist-ranks)")
+        sp.add_argument("--allreduce", choices=["flat", "tree"],
+                        default="flat",
+                        help="collective algorithm for --dist-ranks")
+
     def add_solve_args(sp):
         add_mesh_args(sp)
         sp.add_argument("--ilu", type=int, default=1, help="ILU fill level")
@@ -86,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--max-steps", type=int, default=100)
         sp.add_argument("--rtol", type=float, default=1e-6)
         add_backend_args(sp)
+        add_dist_args(sp)
         add_obs_args(sp)
 
     sp = sub.add_parser("mesh-info", help="generate and validate a dataset")
@@ -142,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max |parallel - serial| residual deviation")
     sp.add_argument("--gate-slowdown", type=float, default=1.25,
                     help="max owner-writes wall time as a multiple of serial")
+    sp.add_argument("--history", metavar="PATH",
+                    help="JSONL trend file: append this run and, with "
+                         "--gate, compare against the rolling median of "
+                         "the last 5 comparable runs instead of the fixed "
+                         "slowdown bound")
+    sp.add_argument("--dist-ranks", type=int, default=0, metavar="N",
+                    help="also measure a short N-rank distributed solve's "
+                         "comm/compute breakdown")
+    sp.add_argument("--pipelined", action="store_true",
+                    help="pipelined comm/compute overlap for --dist-ranks")
     return p
 
 
@@ -202,6 +226,56 @@ def _reconciliation(tracer, registry) -> float:
     )
 
 
+def _run_dist_solve(args, app):
+    """N-rank distributed solve wrapped as a :class:`Fun3dRunResult`.
+
+    The modeled per-kernel profile does not apply (ranks measure their own
+    walls), so ``counts``/``profile`` are empty and the result instead
+    carries a ``dist`` attribute with the measured communication story.
+    """
+    from .apps import Fun3dRunResult, OptimizationConfig
+    from .dist.runtime import distributed_solve
+    from .obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+    from .perf import PerfRegistry, use_registry
+
+    reg = PerfRegistry()
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with use_registry(reg), use_tracer(tracer), use_metrics(metrics):
+        dres = distributed_solve(
+            app.field,
+            app.flow,
+            app.solver,
+            n_ranks=args.dist_ranks,
+            pipelined=args.pipelined,
+            seed=args.seed,
+            allreduce_algo=args.allreduce,
+        )
+    res = Fun3dRunResult(
+        solve=dres.result,
+        registry=reg,
+        counts={},
+        profile={},
+        config=OptimizationConfig.baseline(ilu_fill=args.ilu),
+        trace=tracer,
+        metrics=metrics,
+    )
+    res.dist = dres
+    return res
+
+
+def _print_dist_breakdown(dres) -> None:
+    bd = dres.comm_breakdown()
+    mode = "pipelined" if dres.pipelined else "plain"
+    print(
+        f"measured {dres.n_ranks}-rank breakdown ({mode}, critical path): "
+        f"halo {100 * bd['halo_fraction']:.1f}% "
+        f"allreduce {100 * bd['allreduce_fraction']:.1f}% "
+        f"(comm {100 * bd['comm_fraction']:.1f}% of "
+        f"{1e3 * bd['elapsed_seconds']:.1f} ms)"
+    )
+
+
 def _run_solve(args):
     from contextlib import nullcontext
 
@@ -217,8 +291,16 @@ def _run_solve(args):
             max_steps=args.max_steps,
             steady_rtol=args.rtol,
             n_subdomains=args.subdomains,
+            ilu_fill=args.ilu,
         ),
     )
+    if getattr(args, "dist_ranks", 0) > 0:
+        print(
+            f"distributed runtime: {args.dist_ranks} rank processes "
+            f"({'pipelined' if args.pipelined else 'plain'} halo exchange, "
+            f"{args.allreduce} allreduce)"
+        )
+        return app, _run_dist_solve(args, app)
     backend_cm = install_cm = nullcontext()
     if getattr(args, "backend", "serial") == "process":
         from .smp import ProcessEdgeBackend, use_edge_backend
@@ -254,9 +336,14 @@ def cmd_solve(args) -> int:
     )
     forces = integrate_forces(app.field, s.q, app.flow)
     print(f"CL={forces.cl:.4f} CD={forces.cd:.4f}")
-    print("baseline profile:")
-    for name, frac in sorted(res.fractions().items(), key=lambda kv: -kv[1]):
-        print(f"  {name:<9} {100 * frac:5.1f}%")
+    if getattr(res, "dist", None) is not None:
+        _print_dist_breakdown(res.dist)
+    if res.profile:
+        print("baseline profile:")
+        for name, frac in sorted(
+            res.fractions().items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {name:<9} {100 * frac:5.1f}%")
     _write_obs(args, res.trace, res.metrics)
     return 0 if s.converged else 1
 
@@ -279,8 +366,21 @@ def cmd_profile(args) -> int:
     print()
     print(res.metrics.report())
     print()
-    print(f"span/registry reconciliation: max per-kernel deviation "
-          f"{100 * _reconciliation(tracer, res.registry):.3f}%")
+    if getattr(res, "dist", None) is not None:
+        _print_dist_breakdown(res.dist)
+        if args.dataset in ("mesh-c", "mesh-d"):
+            from .dist import MESH_C_PAPER, MESH_D_PAPER, MultiNodeModel
+
+            wl = MESH_C_PAPER if args.dataset == "mesh-c" else MESH_D_PAPER
+            model = MultiNodeModel(wl).trace_breakdown(args.dist_ranks)
+            print(
+                f"modeled comm fraction at {args.dist_ranks} nodes "
+                f"(Fig 10 cost model, paper-scale "
+                f"{wl.name}): {100 * model.attrs['comm_fraction']:.1f}%"
+            )
+    else:
+        print(f"span/registry reconciliation: max per-kernel deviation "
+              f"{100 * _reconciliation(tracer, res.registry):.3f}%")
     _write_obs(args, tracer, res.metrics)
     return 0 if s.converged else 1
 
@@ -381,7 +481,15 @@ def cmd_partition(args) -> int:
 
 def cmd_bench(args) -> int:
     from .perf import format_table
-    from .smp.bench import gate_failures, run_flux_scaling, write_bench_json
+    from .smp.bench import (
+        append_history,
+        gate_failures,
+        load_history,
+        rolling_gate_failures,
+        run_dist_breakdown,
+        run_flux_scaling,
+        write_bench_json,
+    )
 
     if args.quick:
         worker_list = [max(1, args.workers)]
@@ -405,6 +513,11 @@ def cmd_bench(args) -> int:
         dataset=args.dataset,
         scale=args.scale,
     )
+    if args.dist_ranks > 0:
+        doc["dist"] = run_dist_breakdown(
+            mesh, n_ranks=args.dist_ranks, pipelined=args.pipelined,
+            seed=args.seed,
+        )
     write_bench_json(doc, args.out)
 
     rows = [
@@ -425,15 +538,42 @@ def cmd_bench(args) -> int:
               f"best of {repeats})",
     ))
     print(f"wrote {args.out}")
-    if args.gate:
-        failures = gate_failures(
-            doc, tol=args.gate_tol, max_slowdown=args.gate_slowdown
+    if "dist" in doc:
+        d = doc["dist"]
+        print(
+            f"dist breakdown ({d['n_ranks']} ranks, "
+            f"{'pipelined' if d['pipelined'] else 'plain'}): "
+            f"halo {100 * d['halo_fraction']:.1f}% "
+            f"allreduce {100 * d['allreduce_fraction']:.1f}% "
+            f"comm {100 * d['comm_fraction']:.1f}%"
         )
+
+    history = load_history(args.history) if args.history else []
+    if args.gate:
+        if args.history:
+            failures = rolling_gate_failures(
+                doc, history, max_regression=args.gate_slowdown,
+                tol=args.gate_tol,
+            )
+            gate_kind = (
+                "rolling-median trend" if history else
+                "fixed slowdown (no comparable history yet)"
+            )
+        else:
+            failures = gate_failures(
+                doc, tol=args.gate_tol, max_slowdown=args.gate_slowdown
+            )
+            gate_kind = "fixed slowdown"
         for msg in failures:
             print(f"GATE FAIL: {msg}")
         if failures:
             return 1
-        print("GATE OK: residual equivalence + owner-writes performance")
+        print(f"GATE OK: residual equivalence + owner-writes performance "
+              f"({gate_kind})")
+    if args.history:
+        append_history(doc, args.history)
+        print(f"appended trend record to {args.history} "
+              f"({len(history) + 1} total)")
     return 0
 
 

@@ -38,6 +38,10 @@ class LocalDomain:
     recv_lists: dict[int, np.ndarray] = field(default_factory=dict)
     #: edges with both endpoints local (owned+ghost), in local indices
     local_edges: np.ndarray | None = None
+    #: global edge ids of ``local_edges`` rows (same order/orientation), so
+    #: rank runtimes can gather per-edge metrics (normals, midpoints) without
+    #: re-deriving them from coordinates
+    edge_ids: np.ndarray | None = None
 
     @property
     def n_owned(self) -> int:
@@ -94,6 +98,7 @@ class DomainDecomposition:
                 dom.local_edges = np.stack([remap(re0), remap(re1)], axis=1)
             else:
                 dom.local_edges = np.zeros((0, 2), dtype=np.int64)
+            dom.edge_ids = np.where(sel)[0]
             # recv lists grouped by owner rank
             if ghosts.size:
                 owners = self.labels[ghosts]

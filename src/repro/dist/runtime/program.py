@@ -1,0 +1,565 @@
+"""The rank program: per-subdomain NKS solve over the communicator.
+
+Each rank owns a contiguous slice of the global problem (its subdomain's
+owned vertices) plus one ghost layer, and replays the exact serial solver
+arithmetic on local arrays:
+
+* **residual** — interior-edge fluxes and gradient contributions touch only
+  owned data and run *inside* the halo window; cut-edge contributions (the
+  edges the decomposition severed) wait for the ghosts.  Plain mode and
+  pipelined mode execute the identical interior-then-cut arithmetic — the
+  only difference is whether the exchange blocks up front or overlaps the
+  interior compute — so the two are bitwise-identical and only their span
+  layout differs (the Fig 10 overlap, observable in the trace).
+* **preconditioner** — block-ILU of the rank's owned-by-owned first-order
+  Jacobian (cut edges contribute their owned-side diagonal blocks), i.e.
+  zero-overlap additive Schwarz with one subdomain per rank, applied with
+  no communication.
+* **Newton/GMRES control flow** — replicated on every rank.  All global
+  scalars (residual norms, Hessenberg entries, CFL, update clips) come out
+  of deterministic allreduces, so every rank takes the same branches and
+  the distributed iteration is a single well-defined sequence.
+
+Numerics contract: per-edge/per-face arithmetic is identical to the serial
+kernels (only summation order differs), and the converged steady state
+matches the serial solver's to the outer tolerance — verified end-to-end in
+``tests/test_dist_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from ...cfd.flux import edge_spectral_radius, numerical_edge_flux
+from ...cfd.jacobian import analytic_flux_jacobian
+from ...cfd.state import NVARS, FlowConfig, freestream_state
+from ...cfd.timestep import ser_cfl
+from ...solver.newton import SolverOptions
+from ...sparse.bcsr import BCSRMatrix, bcsr_pattern_from_edges
+from ...sparse.ilu import build_ilu_plan, ilu_factorize
+from ...sparse.trsv import trsv_solve
+from .comm import Communicator
+
+__all__ = ["RankData", "build_rank_data", "rank_residual", "rank_solve_steady"]
+
+#: widest halo payload: 12 gradient + 4 limiter doubles per vertex
+GRAD_LIMITER_WIDTH = 16
+
+
+@dataclass
+class RankData:
+    """One rank's kernel-ready slice of the problem (built in the parent,
+    inherited copy-on-write through ``fork``).
+
+    Local vertex numbering: owned vertices first (``0..n_owned``), then
+    ghosts.  Local edges are reordered *interior first* — edges with both
+    endpoints owned, computable before any ghost arrives — followed by the
+    cut edges; within each class the global edge order (and orientation) is
+    preserved, so per-edge arithmetic matches the serial kernels exactly.
+    """
+
+    rank: int
+    n_owned: int
+    n_local: int
+    n_global: int
+    e0: np.ndarray  # local edge endpoints, interior-first
+    e1: np.ndarray
+    normals: np.ndarray
+    d0: np.ndarray  # edge midpoint - x[e0]
+    d1: np.ndarray
+    n_interior: int  # edges [0:n_interior] have both endpoints owned
+    volumes: np.ndarray  # (n_owned,)
+    lsq_inv: np.ndarray  # (n_owned, 3, 3)
+    #: flattened boundary corners restricted to owned vertices:
+    #: tag -> (local vertex ids, per-corner normals)
+    bcorners: dict[str, tuple[np.ndarray, np.ndarray]]
+    q0: np.ndarray  # (n_owned, 4) initial owned state
+
+    @property
+    def int_e0(self) -> np.ndarray:
+        return self.e0[: self.n_interior]
+
+    @property
+    def int_e1(self) -> np.ndarray:
+        return self.e1[: self.n_interior]
+
+    @property
+    def cut_e0(self) -> np.ndarray:
+        return self.e0[self.n_interior :]
+
+    @property
+    def cut_e1(self) -> np.ndarray:
+        return self.e1[self.n_interior :]
+
+
+def build_rank_data(
+    field, config: FlowConfig, decomp, q0: np.ndarray | None = None
+) -> list[RankData]:
+    """Slice a :class:`~repro.cfd.state.FlowField` into per-rank views.
+
+    Edge metrics are gathered by the decomposition's ``edge_ids`` (global
+    edge ids of each rank's local edges, orientation preserved); boundary
+    faces are flattened to per-corner contributions and restricted to each
+    rank's owned vertices, which is exactly the set the serial boundary
+    kernels scatter into.
+    """
+    if config.mu > 0.0:
+        raise NotImplementedError(
+            "viscous fluxes are not supported by the distributed runtime"
+        )
+    if q0 is None:
+        q0 = field.initial_state(config)
+
+    def flat_corners(faces: np.ndarray, vnormals: np.ndarray):
+        """(global vertex ids, per-corner normals) in the serial kernels'
+        column-major corner order."""
+        if faces.shape[0] == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, 3)),
+            )
+        verts = np.concatenate([faces[:, c] for c in range(3)])
+        normals = np.concatenate([vnormals] * 3, axis=0)
+        return verts, normals
+
+    btags = {
+        "wall": flat_corners(field.wall_faces, field.wall_vnormals),
+        "sym": flat_corners(field.sym_faces, field.sym_vnormals),
+        "far": flat_corners(field.far_faces, field.far_vnormals),
+    }
+
+    out: list[RankData] = []
+    for dom in decomp.domains:
+        le, eids = dom.local_edges, dom.edge_ids
+        n_owned = dom.n_owned
+        interior = (le[:, 0] < n_owned) & (le[:, 1] < n_owned)
+        order = np.concatenate(
+            [np.where(interior)[0], np.where(~interior)[0]]
+        )
+        ge = eids[order]
+        bcorners: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for tag, (verts, normals) in btags.items():
+            sel = np.where(decomp.labels[verts] == dom.rank)[0]
+            local = np.searchsorted(dom.owned, verts[sel])
+            bcorners[tag] = (local, np.ascontiguousarray(normals[sel]))
+        out.append(
+            RankData(
+                rank=dom.rank,
+                n_owned=n_owned,
+                n_local=dom.n_local,
+                n_global=field.n_vertices,
+                e0=np.ascontiguousarray(le[order, 0]),
+                e1=np.ascontiguousarray(le[order, 1]),
+                normals=np.ascontiguousarray(field.enormals[ge]),
+                d0=np.ascontiguousarray(field.emid_d0[ge]),
+                d1=np.ascontiguousarray(field.emid_d1[ge]),
+                n_interior=int(interior.sum()),
+                volumes=np.ascontiguousarray(field.volumes[dom.owned]),
+                lsq_inv=np.ascontiguousarray(field.lsq_inv[dom.owned]),
+                bcorners=bcorners,
+                q0=np.ascontiguousarray(q0[dom.owned]),
+            )
+        )
+    return out
+
+
+class _Workspace:
+    """Persistent per-rank arrays reused across residual evaluations."""
+
+    def __init__(self, data: RankData) -> None:
+        nl, no = data.n_local, data.n_owned
+        self.q = np.zeros((nl, NVARS))
+        self.grad = np.zeros((nl, NVARS, 3))
+        self.limiter = np.ones((nl, NVARS))
+        self.rhs = np.zeros((nl, NVARS, 3))
+        self.res = np.zeros((nl, NVARS))
+        self.q[:no] = data.q0
+        self.interior_seconds = 0.0
+
+
+def _interior_span(comm: Communicator, ws: _Workspace, t0: float, edges: int):
+    t1 = time.perf_counter()
+    ws.interior_seconds += t1 - t0
+    comm.recorder.add("interior", t0, t1, edges=edges)
+
+
+def _venkat_local(data: RankData, ws: _Workspace, k: float) -> None:
+    """Venkatakrishnan limiter for the owned vertices (serial formula on
+    local arrays; neighbor min/max sees ghosts, so owned rows are exact)."""
+    q, grad = ws.q, ws.grad
+    e0, e1 = data.e0, data.e1
+    qmin = q.copy()
+    qmax = q.copy()
+    np.minimum.at(qmin, e0, q[e1])
+    np.minimum.at(qmin, e1, q[e0])
+    np.maximum.at(qmax, e0, q[e1])
+    np.maximum.at(qmax, e1, q[e0])
+    eps2 = (k**3) * data.volumes  # (n_owned,)
+    phi = ws.limiter
+    phi[: data.n_owned] = 1.0
+    for end, disp in ((e0, data.d0), (e1, data.d1)):
+        sel = end < data.n_owned  # only owned rows need phi (and have grad)
+        endo, dispo = end[sel], disp[sel]
+        d2 = np.einsum("nvi,ni->nv", grad[endo], dispo)
+        dmax = qmax[endo] - q[endo]
+        dmin = qmin[endo] - q[endo]
+        d1 = np.where(d2 > 0.0, dmax, dmin)
+        e2 = eps2[endo][:, None]
+        num = (d1 * d1 + e2) * d2 + 2.0 * d2 * d2 * d1
+        den = d2 * (d1 * d1 + 2.0 * d2 * d2 + d1 * d2 + e2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            val = np.where(np.abs(d2) > 1e-14, num / den, 1.0)
+        val = np.clip(val, 0.0, 1.0)
+        np.minimum.at(phi, endo, val)
+
+
+def _boundary_residual(
+    data: RankData, ws: _Workspace, config: FlowConfig
+) -> None:
+    """Owned-vertex boundary fluxes, accumulated into ``ws.res``."""
+    q, res = ws.q, ws.res
+    for tag in ("wall", "sym"):
+        verts, normals = data.bcorners[tag]
+        if verts.shape[0] == 0:
+            continue
+        contrib = np.zeros((verts.shape[0], NVARS))
+        contrib[:, 1:4] = normals * q[verts, 0:1]
+        np.add.at(res, verts, contrib)
+    verts, normals = data.bcorners["far"]
+    if verts.shape[0]:
+        qi = q[verts]
+        qe = np.broadcast_to(freestream_state(config), qi.shape)
+        fl = numerical_edge_flux(
+            qi, qe, normals, config.beta, config.dissipation
+        )
+        np.add.at(res, verts, fl)
+
+
+def _edge_flux(
+    data: RankData,
+    ws: _Workspace,
+    sl: slice,
+    config: FlowConfig,
+    second_order: bool,
+) -> None:
+    """Flux of the edges in ``sl`` scattered into ``ws.res`` (ghost rows of
+    ``res`` absorb the cut edges' off-rank halves harmlessly)."""
+    e0, e1 = data.e0[sl], data.e1[sl]
+    q = ws.q
+    ql = q[e0]
+    qr = q[e1]
+    if second_order:
+        dq0 = np.einsum("nvi,ni->nv", ws.grad[e0], data.d0[sl])
+        dq1 = np.einsum("nvi,ni->nv", ws.grad[e1], data.d1[sl])
+        ql = ql + dq0 * ws.limiter[e0]
+        qr = qr + dq1 * ws.limiter[e1]
+    flux = numerical_edge_flux(
+        ql, qr, data.normals[sl], config.beta, config.dissipation
+    )
+    np.add.at(ws.res, e0, flux)
+    np.subtract.at(ws.res, e1, flux)
+
+
+def rank_residual(
+    data: RankData,
+    comm: Communicator,
+    ws: _Workspace,
+    config: FlowConfig,
+    pipelined: bool,
+) -> np.ndarray:
+    """Distributed spatial residual of the owned vertices.
+
+    ``ws.q[:n_owned]`` holds the owned state on entry; ghosts are refreshed
+    here.  Pipelined mode overlaps each halo window with the interior work
+    that window makes safe; plain mode runs the same interior/cut split
+    back-to-back, so both modes produce bit-identical residuals.
+    """
+    second_order = config.second_order
+    ii = slice(0, data.n_interior)
+    ic = slice(data.n_interior, data.e0.shape[0])
+
+    def window(payload, interior_work) -> None:
+        """Run one halo window: pipelined overlaps ``interior_work`` with
+        the in-flight exchange (interior span nested inside the halo
+        span); plain completes the exchange first (disjoint spans).  Both
+        run the identical arithmetic."""
+        if pipelined:
+            token = comm.exchange_begin(payload)
+            t0 = time.perf_counter()
+            interior_work()
+            comm.exchange_end(token, payload)
+        else:
+            comm.halo_exchange(payload)
+            t0 = time.perf_counter()
+            interior_work()
+        _interior_span(comm, ws, t0, data.n_interior)
+
+    def grad_accumulate(sl: slice) -> None:
+        e0, e1 = data.e0[sl], data.e1[sl]
+        dx = data.d0[sl] * 2.0  # x[e1] - x[e0]
+        dq = ws.q[e1] - ws.q[e0]
+        contrib = dq[:, :, None] * dx[:, None, :]
+        np.add.at(ws.rhs, e0, contrib)
+        np.add.at(ws.rhs, e1, contrib)
+
+    # ---- window 1: state exchange || interior gradient accumulation ----
+    if second_order:
+        ws.rhs.fill(0.0)
+        window([ws.q], lambda: grad_accumulate(ii))
+        grad_accumulate(ic)  # cut-edge contributions (need ghost q)
+        ws.grad[: data.n_owned] = np.einsum(
+            "nij,nvj->nvi", data.lsq_inv, ws.rhs[: data.n_owned]
+        )
+        _venkat_local(data, ws, config.limiter_k)
+        exchange_payload = [ws.grad, ws.limiter]
+    else:
+        # first order: the one exchange (state only) overlaps window 2
+        exchange_payload = [ws.q]
+
+    # ---- window 2: grad/limiter exchange || interior flux + boundary ----
+    ws.res.fill(0.0)
+
+    def flux_interior() -> None:
+        _edge_flux(data, ws, ii, config, second_order)
+        _boundary_residual(data, ws, config)
+
+    window(exchange_payload, flux_interior)
+    # cut-edge fluxes (ghost reconstruction now available)
+    _edge_flux(data, ws, ic, config, second_order)
+    return ws.res[: data.n_owned]
+
+
+def _local_timestep(
+    data: RankData, ws: _Workspace, config: FlowConfig, cfl: float
+) -> np.ndarray:
+    """Owned-vertex pseudo time steps (serial formula; ghosts are fresh
+    because this runs right after a residual evaluation on the same q)."""
+    q = ws.q
+    lam_sum = np.zeros(data.n_local)
+    lam_e = edge_spectral_radius(
+        q[data.e0], q[data.e1], data.normals, config.beta
+    )
+    np.add.at(lam_sum, data.e0, lam_e)
+    np.add.at(lam_sum, data.e1, lam_e)
+    for tag in ("wall", "sym", "far"):
+        verts, normals = data.bcorners[tag]
+        if verts.shape[0] == 0:
+            continue
+        lam_b = edge_spectral_radius(q[verts], q[verts], normals, config.beta)
+        np.add.at(lam_sum, verts, lam_b)
+    lam = np.maximum(lam_sum[: data.n_owned], 1e-30)
+    return cfl * data.volumes / lam
+
+
+class _RankJacobian:
+    """First-order Jacobian of the rank's owned-by-owned block + ILU.
+
+    The pattern comes from the interior (owned-owned) edges; cut edges
+    land only on their owned endpoint's diagonal block.  This equals the
+    owned-rows-and-columns restriction of the global first-order Jacobian
+    — i.e. the zero-overlap additive-Schwarz subdomain matrix the serial
+    preconditioner factorizes — assembled without any communication.
+    """
+
+    def __init__(self, data: RankData, fill_level: int) -> None:
+        no = data.n_owned
+        edges = np.column_stack([data.int_e0, data.int_e1])
+        self.rowptr, self.cols = bcsr_pattern_from_edges(edges, no)
+        keys = np.repeat(
+            np.arange(no, dtype=np.int64), np.diff(self.rowptr)
+        ) * np.int64(no) + self.cols
+        self._diag_idx = np.searchsorted(
+            keys, np.arange(no, dtype=np.int64) * no + np.arange(no)
+        )
+        self._idx_ij = np.searchsorted(
+            keys, data.int_e0 * np.int64(no) + data.int_e1
+        )
+        self._idx_ji = np.searchsorted(
+            keys, data.int_e1 * np.int64(no) + data.int_e0
+        )
+        self._cut_sel0 = np.where(data.cut_e0 < no)[0]
+        self._cut_sel1 = np.where(data.cut_e1 < no)[0]
+        self.matrix = BCSRMatrix.from_pattern(self.rowptr, self.cols, NVARS)
+        self.plan = build_ilu_plan(
+            self.rowptr, self.cols, b=NVARS, fill_level=fill_level
+        )
+        self._factor = None
+        self._data = data
+
+    def update(
+        self, ws: _Workspace, config: FlowConfig, dt: np.ndarray
+    ) -> None:
+        data, q = self._data, ws.q
+        beta = config.beta
+        vals = self.matrix.vals
+        vals[:] = 0.0
+        eye = np.eye(NVARS)
+
+        ql, qr = q[data.int_e0], q[data.int_e1]
+        normals = data.normals[: data.n_interior]
+        Ai = analytic_flux_jacobian(ql, normals, beta)
+        Aj = analytic_flux_jacobian(qr, normals, beta)
+        lamI = edge_spectral_radius(ql, qr, normals, beta)[:, None, None] * eye
+        dFdqi = 0.5 * Ai + 0.5 * lamI
+        dFdqj = 0.5 * Aj - 0.5 * lamI
+        np.add.at(vals, self._diag_idx[data.int_e0], dFdqi)
+        np.add.at(vals, self._idx_ij, dFdqj)
+        np.add.at(vals, self._diag_idx[data.int_e1], -dFdqj)
+        np.add.at(vals, self._idx_ji, -dFdqi)
+
+        # cut edges: the owned endpoint's diagonal block only (the off-rank
+        # coupling is what block-Jacobi drops)
+        if data.cut_e0.shape[0]:
+            ql, qr = q[data.cut_e0], q[data.cut_e1]
+            normals = data.normals[data.n_interior :]
+            Ai = analytic_flux_jacobian(ql, normals, beta)
+            Aj = analytic_flux_jacobian(qr, normals, beta)
+            lamI = (
+                edge_spectral_radius(ql, qr, normals, beta)[:, None, None]
+                * eye
+            )
+            dFdqi = 0.5 * Ai + 0.5 * lamI
+            dFdqj = 0.5 * Aj - 0.5 * lamI
+            s0, s1 = self._cut_sel0, self._cut_sel1
+            np.add.at(vals, self._diag_idx[data.cut_e0[s0]], dFdqi[s0])
+            np.add.at(vals, self._diag_idx[data.cut_e1[s1]], -dFdqj[s1])
+
+        for tag in ("wall", "sym"):
+            verts, normals = data.bcorners[tag]
+            if verts.shape[0] == 0:
+                continue
+            blk = np.zeros((verts.shape[0], NVARS, NVARS))
+            blk[:, 1:4, 0] = normals
+            np.add.at(vals, self._diag_idx[verts], blk)
+
+        verts, normals = data.bcorners["far"]
+        if verts.shape[0]:
+            qi = q[verts]
+            q_inf = freestream_state(config)
+            Af = analytic_flux_jacobian(qi, normals, beta)
+            lam_f = edge_spectral_radius(
+                qi, np.broadcast_to(q_inf, qi.shape), normals, beta
+            )
+            blk = 0.5 * Af + 0.5 * lam_f[:, None, None] * eye
+            np.add.at(vals, self._diag_idx[verts], blk)
+
+        vals[self._diag_idx] += (data.volumes / dt)[:, None, None] * eye
+        self._factor = ilu_factorize(self.matrix, self.plan)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        z = trsv_solve(self._factor, r.reshape(-1, NVARS))
+        return z.reshape(r.shape)
+
+
+@dataclass
+class RankSolveStats:
+    """Per-rank outcome shipped back to the parent."""
+
+    q: np.ndarray
+    steps: int
+    linear_iterations: int
+    residual_history: list[float]
+    cfl_history: list[float]
+    converged: bool
+    interior_seconds: float
+    elapsed: float
+    extras: dict = dc_field(default_factory=dict)
+
+
+def rank_solve_steady(
+    data: RankData,
+    comm: Communicator,
+    config: FlowConfig,
+    opts: SolverOptions,
+    pipelined: bool = False,
+) -> RankSolveStats:
+    """One rank's pseudo-transient Newton loop (the distributed
+    counterpart of :func:`repro.solver.newton.solve_steady`).
+
+    Control flow is replicated: every global scalar is a deterministic
+    allreduce, so all ranks take identical branches.
+    """
+    from ...solver.distributed import dist_fd_operator, dist_gmres
+
+    t_start = time.perf_counter()
+    ws = _Workspace(data)
+    jac = _RankJacobian(data, opts.ilu_fill)
+    no = data.n_owned
+    n_unknowns = NVARS * data.n_global
+
+    def spatial_residual(u_flat: np.ndarray) -> np.ndarray:
+        ws.q[:no] = u_flat.reshape(no, NVARS)
+        return rank_residual(data, comm, ws, config, pipelined).reshape(-1)
+
+    history: list[float] = []
+    cfls: list[float] = []
+    total_linear = 0
+    converged = False
+    cfl = opts.cfl0
+    r0_norm = None
+    step = 0
+    q_owned = data.q0.copy()
+
+    for step in range(1, opts.max_steps + 1):
+        ws.q[:no] = q_owned
+        res = rank_residual(data, comm, ws, config, pipelined).copy()
+        rnorm = float(
+            np.sqrt(comm.allreduce(float(np.sum(res * res))) / n_unknowns)
+        )
+        history.append(rnorm)
+        if r0_norm is None:
+            r0_norm = rnorm
+        if rnorm <= max(opts.steady_rtol * r0_norm, opts.steady_atol):
+            converged = True
+            break
+
+        cfl = ser_cfl(
+            opts.cfl0, r0_norm, rnorm, cfl_max=opts.cfl_max, cfl_prev=cfl
+        )
+        cfls.append(cfl)
+        dt = _local_timestep(data, ws, config, cfl)
+        jac.update(ws, config, dt)
+
+        diag = np.repeat(data.volumes / dt, NVARS)
+        if opts.matrix_free:
+            op = dist_fd_operator(
+                spatial_residual,
+                q_owned.reshape(-1),
+                comm,
+                n_unknowns,
+                r0=res.reshape(-1),
+                diag=diag,
+            )
+        else:
+            op = jac.matrix.matvec
+
+        result = dist_gmres(
+            op,
+            -res.reshape(-1),
+            comm,
+            precond=jac.apply,
+            rtol=opts.gmres_rtol,
+            restart=opts.gmres_restart,
+            maxiter=opts.gmres_maxiter,
+        )
+        total_linear += result.iterations
+
+        du = result.x.reshape(no, NVARS)
+        m_local = float(np.abs(du).max()) if du.size else 0.0
+        m = comm.allreduce(m_local, op="max")
+        scale = min(1.0, opts.max_update / m) if m > 0 else 1.0
+        q_owned += scale * du
+
+    return RankSolveStats(
+        q=q_owned,
+        steps=step,
+        linear_iterations=total_linear,
+        residual_history=history,
+        cfl_history=cfls,
+        converged=converged,
+        interior_seconds=ws.interior_seconds,
+        elapsed=time.perf_counter() - t_start,
+    )

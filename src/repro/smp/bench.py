@@ -47,13 +47,19 @@ from .strategies import (
 
 __all__ = [
     "SCHEMA",
+    "HISTORY_SCHEMA",
     "DEFAULT_STRATEGIES",
     "run_flux_scaling",
+    "run_dist_breakdown",
     "gate_failures",
+    "rolling_gate_failures",
+    "load_history",
+    "append_history",
     "write_bench_json",
 ]
 
 SCHEMA = "repro.bench.flux_scaling/v1"
+HISTORY_SCHEMA = "repro.bench.history/v1"
 DEFAULT_STRATEGIES = ("locked", "replicate", "owner-natural", "owner-metis")
 
 
@@ -175,6 +181,58 @@ def run_flux_scaling(
     }
 
 
+def run_dist_breakdown(
+    mesh,
+    n_ranks: int = 4,
+    pipelined: bool = True,
+    max_steps: int = 3,
+    seed: int = 7,
+) -> dict:
+    """Measured comm/compute breakdown of a short distributed solve.
+
+    Runs ``max_steps`` Newton steps of the rank runtime and returns the
+    critical-path (max over ranks) halo / allreduce / interior seconds and
+    fractions — the measured data point next to the Fig 10 model.
+    """
+    from ..cfd.state import FlowConfig, FlowField
+    from ..dist.runtime import distributed_solve
+    from ..solver.newton import SolverOptions
+
+    field = FlowField(mesh)
+    opts = SolverOptions(
+        max_steps=max_steps, steady_rtol=1e-14, steady_atol=1e-15
+    )
+    dres = distributed_solve(
+        field,
+        FlowConfig(),
+        opts,
+        n_ranks=n_ranks,
+        pipelined=pipelined,
+        seed=seed,
+    )
+    return {
+        "n_ranks": int(dres.n_ranks),
+        "pipelined": bool(pipelined),
+        "steps": int(dres.result.steps),
+        **dres.comm_breakdown(),
+    }
+
+
+def _residual_failures(doc: dict, tol: float) -> list[str]:
+    """Check (1): every configuration reproduced the serial residual."""
+    return [
+        f"{r['strategy']} @ {r['workers']}w deviates from serial by "
+        f"{r['max_abs_dev']:.3e} (tolerance {tol:.0e})"
+        for r in doc["results"]
+        if not (r["max_abs_dev"] <= tol)
+    ]
+
+
+def _gate_row(doc: dict, gate_strategy: str) -> dict | None:
+    gated = [r for r in doc["results"] if r["strategy"] == gate_strategy]
+    return max(gated, key=lambda r: r["workers"]) if gated else None
+
+
 def gate_failures(
     doc: dict,
     tol: float = 1e-12,
@@ -188,24 +246,121 @@ def gate_failures(
     (2) the owner-writes backend at the largest measured worker count is
     not slower than serial by more than ``max_slowdown``x.
     """
-    failures = []
-    for r in doc["results"]:
-        if not (r["max_abs_dev"] <= tol):
-            failures.append(
-                f"{r['strategy']} @ {r['workers']}w deviates from serial by "
-                f"{r['max_abs_dev']:.3e} (tolerance {tol:.0e})"
-            )
-    gated = [r for r in doc["results"] if r["strategy"] == gate_strategy]
-    if not gated:
+    failures = _residual_failures(doc, tol)
+    r = _gate_row(doc, gate_strategy)
+    if r is None:
         failures.append(f"gate strategy {gate_strategy!r} was not measured")
     else:
-        r = max(gated, key=lambda r: r["workers"])
         slowdown = r["wall_seconds"] / doc["serial"]["wall_seconds"]
         if slowdown > max_slowdown:
             failures.append(
                 f"{r['strategy']} @ {r['workers']}w is {slowdown:.2f}x the "
                 f"serial wall time (gate {max_slowdown:.2f}x)"
             )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# trend tracking: JSONL history + rolling-median regression gate
+# ---------------------------------------------------------------------------
+
+def _history_key(record: dict) -> tuple:
+    """Runs are only comparable on the same problem configuration."""
+    return (record.get("dataset"), record.get("scale"), record.get("seed"))
+
+
+def append_history(doc: dict, path: str) -> dict:
+    """Append one compact record of ``doc`` to the JSONL history at ``path``.
+
+    Each line carries the configuration key plus the wall seconds of every
+    measured (strategy, workers) cell — enough for the rolling-median gate
+    without storing whole documents.  Returns the record written.
+    """
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": time.time(),
+        "dataset": doc.get("dataset"),
+        "scale": doc.get("scale"),
+        "seed": doc.get("seed"),
+        "serial_wall_seconds": doc["serial"]["wall_seconds"],
+        "walls": {
+            f"{r['strategy']}@{r['workers']}": r["wall_seconds"]
+            for r in doc["results"]
+        },
+    }
+    if "dist" in doc:
+        record["dist"] = {
+            k: doc["dist"][k]
+            for k in ("n_ranks", "pipelined", "comm_fraction")
+            if k in doc["dist"]
+        }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+    return record
+
+
+def load_history(path: str) -> list[dict]:
+    """Parse a JSONL history file; missing file or bad lines are skipped."""
+    records: list[dict] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if rec.get("schema") == HISTORY_SCHEMA:
+                    records.append(rec)
+    except OSError:
+        return []
+    return records
+
+
+def rolling_gate_failures(
+    doc: dict,
+    history: list[dict],
+    window: int = 5,
+    max_regression: float = 1.25,
+    tol: float = 1e-12,
+    gate_strategy: str = "owner-metis",
+) -> list[str]:
+    """Trend-aware gate: current wall vs. the rolling median of history.
+
+    The gated cell (``gate_strategy`` at its largest worker count) must not
+    exceed ``max_regression`` times the median of the last ``window``
+    comparable runs (same dataset/scale/seed).  With no comparable history
+    the fixed serial-relative gate applies instead, so a fresh cache or a
+    configuration change degrades gracefully rather than passing blindly.
+    Residual equivalence is always checked.
+    """
+    r = _gate_row(doc, gate_strategy)
+    key = _history_key(doc)
+    prior = [h for h in history if _history_key(h) == key]
+    if r is None or not prior:
+        return gate_failures(
+            doc, tol=tol, max_slowdown=max_regression,
+            gate_strategy=gate_strategy,
+        )
+    failures = _residual_failures(doc, tol)
+    cell = f"{r['strategy']}@{r['workers']}"
+    walls = [
+        h["walls"][cell] for h in prior[-window:] if cell in h.get("walls", {})
+    ]
+    if not walls:
+        return gate_failures(
+            doc, tol=tol, max_slowdown=max_regression,
+            gate_strategy=gate_strategy,
+        )
+    median = float(np.median(walls))
+    if r["wall_seconds"] > max_regression * median:
+        failures.append(
+            f"{cell} wall {1e3 * r['wall_seconds']:.2f} ms exceeds "
+            f"{max_regression:.2f}x the rolling median of the last "
+            f"{len(walls)} run(s) ({1e3 * median:.2f} ms)"
+        )
     return failures
 
 

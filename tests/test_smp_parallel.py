@@ -25,7 +25,15 @@ from repro.cfd.gradient import lsq_gradients, venkat_limiter
 from repro.mesh import delaunay_cloud_mesh, wing_mesh
 from repro.obs import Tracer, use_tracer
 from repro.smp import ProcessEdgeBackend, SharedArrayPool, use_edge_backend
-from repro.smp.bench import gate_failures, run_flux_scaling
+from repro.smp.bench import (
+    HISTORY_SCHEMA,
+    append_history,
+    gate_failures,
+    load_history,
+    rolling_gate_failures,
+    run_dist_breakdown,
+    run_flux_scaling,
+)
 
 SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
@@ -330,3 +338,78 @@ class TestBenchAndGate:
         assert any(
             "not measured" in f for f in gate_failures(doc, max_slowdown=1e9)
         )
+
+
+def _trend_doc(wall, dataset="cloud", scale=1.0, seed=7, dev=0.0):
+    """Minimal bench document for exercising the trend gate."""
+    return {
+        "schema": "repro.bench.flux_scaling/v1",
+        "dataset": dataset, "scale": scale, "seed": seed,
+        "serial": {"wall_seconds": 0.010},
+        "results": [{
+            "strategy": "owner-metis", "workers": 4, "wall_seconds": wall,
+            "speedup": 0.010 / wall, "redundant_edge_fraction": 0.05,
+            "max_abs_dev": dev, "model_seconds": None,
+        }],
+    }
+
+
+class TestBenchHistory:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        assert load_history(path) == []  # missing file is empty history
+        for w in (0.010, 0.011):
+            append_history(_trend_doc(w), path)
+        recs = load_history(path)
+        assert len(recs) == 2
+        assert all(r["schema"] == HISTORY_SCHEMA for r in recs)
+        assert recs[0]["walls"]["owner-metis@4"] == 0.010
+        # junk lines and foreign schemas are skipped, not fatal
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+            fh.write('{"schema": "something-else/v1"}\n')
+        assert len(load_history(path)) == 2
+
+    def test_rolling_gate_uses_median_of_history(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        # one 5x outlier among steady runs: the median shrugs it off where
+        # a compare-to-last-run gate would whipsaw
+        for w in (0.010, 0.010, 0.011, 0.010, 0.050):
+            append_history(_trend_doc(w), path)
+        history = load_history(path)
+        assert rolling_gate_failures(_trend_doc(0.012), history) == []
+        assert any(
+            "rolling median" in f
+            for f in rolling_gate_failures(_trend_doc(0.100), history)
+        )
+
+    def test_rolling_gate_falls_back_without_comparable_history(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(_trend_doc(0.001, dataset="other"), path)
+        history = load_history(path)
+        # the foreign-dataset record must not be compared against: the
+        # fixed serial-relative gate applies (1.0x serial passes; 0.001s
+        # history would have failed a 0.010s run)
+        assert rolling_gate_failures(_trend_doc(0.010), history) == []
+        assert any(
+            "serial wall time" in f
+            for f in rolling_gate_failures(_trend_doc(0.100), history)
+        )
+
+    def test_rolling_gate_always_checks_residuals(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(_trend_doc(0.010), path)
+        bad = _trend_doc(0.010, dev=1e-3)
+        assert any(
+            "deviates" in f
+            for f in rolling_gate_failures(bad, load_history(path))
+        )
+
+    def test_run_dist_breakdown_smoke(self):
+        mesh = wing_mesh(n_around=14, n_radial=5, n_span=4)
+        d = run_dist_breakdown(mesh, n_ranks=2, pipelined=True, max_steps=2)
+        assert d["n_ranks"] == 2 and d["pipelined"] and d["steps"] == 2
+        assert 0.0 < d["comm_fraction"] < 1.0
+        assert d["halo_seconds"] > 0.0 and d["allreduce_seconds"] > 0.0
