@@ -75,6 +75,22 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--partitioner", choices=["metis", "natural"],
                         default="metis",
                         help="vertex ownership labels for the owner strategy")
+        sp.add_argument(
+            "--sparse-backend", choices=["serial", "process"],
+            default="serial",
+            help="ILU/TRSV executor: in-process kernels or a persistent "
+                 "worker fleet over shared memory"
+        )
+        sp.add_argument(
+            "--sparse-strategy", choices=["levels", "p2p"], default="p2p",
+            help="sparse-fleet synchronization: barrier per wavefront or "
+                 "P2P-sparsified per-row flags"
+        )
+        sp.add_argument(
+            "--sparse-workers", type=int, default=0, metavar="N",
+            help="worker processes for --sparse-backend process "
+                 "(0 = same as --workers)"
+        )
 
     def add_dist_args(sp):
         sp.add_argument(
@@ -147,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="timed repetitions per configuration (min is kept)")
     sp.add_argument("--quick", action="store_true",
                     help="smoke mode: measure only --workers, 3 repeats")
+    sp.add_argument(
+        "--sparse-backend", choices=["flux", "process"], default="flux",
+        help="'process' switches the sweep to process-parallel ILU/TRSV "
+             "(levels vs p2p synchronization) -> BENCH_trsv_scaling.json"
+    )
+    sp.add_argument("--ilu", type=int, default=0,
+                    help="ILU fill level of the TRSV sweep")
     sp.add_argument("--out", default="BENCH_flux_scaling.json",
                     help="output JSON path")
     sp.add_argument("--gate", action="store_true",
@@ -284,6 +307,8 @@ def _run_solve(args):
     from .solver import SolverOptions
 
     mesh = _make_mesh(args)
+    sparse_backend = getattr(args, "sparse_backend", "serial")
+    sparse_workers = getattr(args, "sparse_workers", 0) or args.workers
     app = Fun3dApp(
         mesh,
         flow=FlowConfig(aoa_deg=args.aoa, dissipation=args.dissipation),
@@ -292,8 +317,16 @@ def _run_solve(args):
             steady_rtol=args.rtol,
             n_subdomains=args.subdomains,
             ilu_fill=args.ilu,
+            sparse_backend=sparse_backend,
+            sparse_strategy=getattr(args, "sparse_strategy", "p2p"),
+            sparse_workers=sparse_workers,
         ),
     )
+    if sparse_backend == "process":
+        print(
+            f"sparse backend: process x{sparse_workers} "
+            f"({args.sparse_strategy} synchronization)"
+        )
     if getattr(args, "dist_ranks", 0) > 0:
         print(
             f"distributed runtime: {args.dist_ranks} rank processes "
@@ -348,6 +381,31 @@ def cmd_solve(args) -> int:
     return 0 if s.converged else 1
 
 
+def _print_recurrence_structure(app, fill: int) -> None:
+    """Table II companion: ILU/TRSV dependency-graph parallelism stats.
+
+    ``available_parallelism`` is the paper's metric (total work over
+    critical-path work); ``max_level_width`` caps how many sparse workers
+    can ever be busy at once, and the width histogram shows how much of the
+    schedule sits in levels too narrow to share.
+    """
+    from .sparse import available_parallelism
+
+    plan = app.ilu_plan(fill)
+    par = available_parallelism(plan.rowptr, plan.cols, b=plan.b)
+    print(f"ILU({fill}) recurrence structure (Table II):")
+    print(f"  available parallelism {par:.0f}x")
+    for name, sched in (("forward", plan.schedule),
+                        ("backward", plan.schedule_back)):
+        hist = " ".join(
+            f"[{lo}-{hi}]x{cnt}" for lo, hi, cnt in sched.width_histogram()
+        )
+        print(
+            f"  {name:<8} {len(sched.levels)} levels, max width "
+            f"{sched.max_level_width}; widths {hist}"
+        )
+
+
 def cmd_profile(args) -> int:
     from .obs import aggregate_spans
     from .perf import format_profile
@@ -365,6 +423,8 @@ def cmd_profile(args) -> int:
     ))
     print()
     print(res.metrics.report())
+    print()
+    _print_recurrence_structure(app, args.ilu)
     print()
     if getattr(res, "dist", None) is not None:
         _print_dist_breakdown(res.dist)
@@ -479,6 +539,51 @@ def cmd_partition(args) -> int:
     return 0
 
 
+def _bench_trsv(args, mesh, worker_list, repeats) -> dict:
+    """TRSV-sweep branch of ``bench``: measured process ILU/TRSV scaling."""
+    from .smp.bench import run_trsv_scaling
+
+    return run_trsv_scaling(
+        mesh,
+        workers=tuple(worker_list),
+        repeats=repeats,
+        fill_level=args.ilu,
+        seed=args.seed,
+        dataset=args.dataset,
+        scale=args.scale,
+    )
+
+
+def _print_trsv_table(args, mesh, doc, repeats) -> None:
+    from .perf import format_table
+
+    rows = [
+        [
+            r["strategy"], str(r["workers"]),
+            f"{1e3 * r['trsv_wall_seconds']:.2f}",
+            f"{r['trsv_speedup']:.2f}x",
+            f"{1e3 * r['ilu_wall_seconds']:.2f}",
+            f"{r['ilu_speedup']:.2f}x",
+            f"{1e3 * r['trsv_model_seconds']:.2f}",
+            str(r["cross_deps"]),
+            f"{r['max_abs_dev']:.1e}",
+        ]
+        for r in doc["results"]
+    ]
+    print(format_table(
+        ["strategy", "workers", "trsv ms", "speedup", "ilu ms", "speedup",
+         "model ms", "cross", "max dev"],
+        rows,
+        title=f"{mesh.name}: measured ILU({doc['fill_level']})+TRSV "
+              f"process scaling (serial trsv "
+              f"{1e3 * doc['serial']['trsv_wall_seconds']:.2f} ms / ilu "
+              f"{1e3 * doc['serial']['ilu_wall_seconds']:.2f} ms, "
+              f"best of {repeats}; {doc['n_levels']} fwd levels, "
+              f"max width {doc['max_level_width']})",
+    ))
+    print(f"wrote {args.out}")
+
+
 def cmd_bench(args) -> int:
     from .perf import format_table
     from .smp.bench import (
@@ -488,6 +593,8 @@ def cmd_bench(args) -> int:
         rolling_gate_failures,
         run_dist_breakdown,
         run_flux_scaling,
+        trsv_gate_failures,
+        rolling_trsv_gate_failures,
         write_bench_json,
     )
 
@@ -504,6 +611,40 @@ def cmd_bench(args) -> int:
         repeats = args.repeats
 
     mesh = _make_mesh(args)
+    if args.sparse_backend == "process":
+        if args.out == "BENCH_flux_scaling.json":  # only the untouched default
+            args.out = "BENCH_trsv_scaling.json"
+        doc = _bench_trsv(args, mesh, worker_list, repeats)
+        write_bench_json(doc, args.out)
+        _print_trsv_table(args, mesh, doc, repeats)
+        history = load_history(args.history) if args.history else []
+        if args.gate:
+            if args.history:
+                failures = rolling_trsv_gate_failures(
+                    doc, history, max_regression=args.gate_slowdown,
+                    tol=args.gate_tol,
+                )
+                gate_kind = (
+                    "rolling-median trend" if history else
+                    "fixed slowdown (no comparable history yet)"
+                )
+            else:
+                failures = trsv_gate_failures(
+                    doc, tol=args.gate_tol, max_slowdown=args.gate_slowdown
+                )
+                gate_kind = "fixed slowdown"
+            for msg in failures:
+                print(f"GATE FAIL: {msg}")
+            if failures:
+                return 1
+            print(f"GATE OK: serial-equivalent solves + p2p performance "
+                  f"({gate_kind})")
+        if args.history:
+            append_history(doc, args.history)
+            print(f"appended trend record to {args.history} "
+                  f"({len(history) + 1} total)")
+        return 0
+
     doc = run_flux_scaling(
         mesh,
         workers=tuple(worker_list),

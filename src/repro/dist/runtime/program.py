@@ -40,7 +40,7 @@ from ...cfd.timestep import ser_cfl
 from ...solver.newton import SolverOptions
 from ...sparse.bcsr import BCSRMatrix, bcsr_pattern_from_edges
 from ...sparse.ilu import build_ilu_plan, ilu_factorize
-from ...sparse.trsv import trsv_solve
+from ...sparse.trsv import TrsvWorkspace, trsv_solve
 from .comm import Communicator
 
 __all__ = ["RankData", "build_rank_data", "rank_residual", "rank_solve_steady"]
@@ -388,6 +388,7 @@ class _RankJacobian:
         )
         self._factor = None
         self._data = data
+        self._tws = TrsvWorkspace.for_plan(self.plan)
 
     def update(
         self, ws: _Workspace, config: FlowConfig, dt: np.ndarray
@@ -450,7 +451,9 @@ class _RankJacobian:
         self._factor = ilu_factorize(self.matrix, self.plan)
 
     def apply(self, r: np.ndarray) -> np.ndarray:
-        z = trsv_solve(self._factor, r.reshape(-1, NVARS))
+        # no out=: dist_gmres stores the result in its flexible basis, so
+        # the solve must hand back a fresh array (work covers the scratch)
+        z = trsv_solve(self._factor, r.reshape(-1, NVARS), work=self._tws)
         return z.reshape(r.shape)
 
 
@@ -481,7 +484,34 @@ def rank_solve_steady(
 
     Control flow is replicated: every global scalar is a deterministic
     allreduce, so all ranks take identical branches.
+
+    With ``opts.sparse_backend == "process"`` each rank drives its own
+    :class:`~repro.smp.sparse_parallel.SparseProcessBackend` fleet for the
+    block-Jacobi ILU/TRSV (paper-style MPI+threads nesting); the per-worker
+    ``ilu.w<i>`` / ``trsv.w<i>`` spans land in the rank's span log.
     """
+    from ...solver.distributed import dist_fd_operator, dist_gmres
+
+    if opts.sparse_backend == "process":
+        from ...smp.sparse_parallel import SparseProcessBackend
+        from ...sparse.dispatch import use_sparse_backend
+
+        with SparseProcessBackend(
+            n_workers=max(1, opts.sparse_workers),
+            strategy=opts.sparse_strategy,
+            span_sink=comm.recorder.add,
+        ) as backend, use_sparse_backend(backend):
+            return _rank_solve_steady_impl(data, comm, config, opts, pipelined)
+    return _rank_solve_steady_impl(data, comm, config, opts, pipelined)
+
+
+def _rank_solve_steady_impl(
+    data: RankData,
+    comm: Communicator,
+    config: FlowConfig,
+    opts: SolverOptions,
+    pipelined: bool,
+) -> RankSolveStats:
     from ...solver.distributed import dist_fd_operator, dist_gmres
 
     t_start = time.perf_counter()

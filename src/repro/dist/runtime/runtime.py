@@ -136,10 +136,14 @@ class DistRuntime:
             raise RuntimeError("runtime already has ranks in flight")
         for r in range(self.n_ranks):
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            # not daemonic: a rank program may fork its own worker fleet
+            # (per-rank SparseProcessBackend); daemonic processes cannot
+            # have children.  Cleanup is unaffected — _terminate/_join and
+            # the atexit close() path reap the ranks either way.
             p = self._ctx.Process(
                 target=_rank_main,
                 args=(self.transport, r, program, self.allreduce_algo, child_conn),
-                daemon=True,
+                daemon=False,
                 name=f"repro-rank{r}",
             )
             p.start()

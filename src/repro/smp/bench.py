@@ -47,18 +47,23 @@ from .strategies import (
 
 __all__ = [
     "SCHEMA",
+    "TRSV_SCHEMA",
     "HISTORY_SCHEMA",
     "DEFAULT_STRATEGIES",
     "run_flux_scaling",
+    "run_trsv_scaling",
     "run_dist_breakdown",
     "gate_failures",
+    "trsv_gate_failures",
     "rolling_gate_failures",
+    "rolling_trsv_gate_failures",
     "load_history",
     "append_history",
     "write_bench_json",
 ]
 
 SCHEMA = "repro.bench.flux_scaling/v1"
+TRSV_SCHEMA = "repro.bench.trsv_scaling/v1"
 HISTORY_SCHEMA = "repro.bench.history/v1"
 DEFAULT_STRATEGIES = ("locked", "replicate", "owner-natural", "owner-metis")
 
@@ -181,6 +186,140 @@ def run_flux_scaling(
     }
 
 
+def _trsv_matrix(mesh, seed: int, b: int = 4):
+    """Deterministic diagonally dominant BCSR on the mesh Jacobian pattern.
+
+    A synthetic stand-in for the first-order Jacobian: same sparsity (so the
+    level structure and P2P graph are the real ones), random off-diagonal
+    blocks, dominant diagonal so ILU stays well conditioned.
+    """
+    from ..sparse.bcsr import BCSRMatrix, bcsr_pattern_from_edges
+
+    rowptr, cols = bcsr_pattern_from_edges(mesh.edges, mesh.n_vertices)
+    rng = np.random.default_rng(seed)
+    vals = 0.1 * rng.normal(size=(cols.shape[0], b, b))
+    rows = np.repeat(
+        np.arange(mesh.n_vertices, dtype=np.int64), np.diff(rowptr)
+    )
+    vals[rows == cols] += 4.0 * np.eye(b)
+    return BCSRMatrix(rowptr=rowptr, cols=cols, vals=vals)
+
+
+def _trsv_model_seconds(
+    plan, strategy: str, workers: int
+) -> tuple[float, float, int]:
+    """Cost-model (trsv_seconds, ilu_seconds, cross_deps) for one cell.
+
+    The generic ``tri_solve_options_from_plan`` prices P2P synchronization
+    from a natural row partition; the process backend assigns contiguous
+    chunks of each *wavefront*, so its retained cross-worker count (from the
+    actual execution plan) replaces the estimate.
+    """
+    from .cost import ilu_time, trsv_time
+    from .strategies import tri_solve_options_from_plan
+
+    model_strategy = {"levels": "level", "p2p": "p2p"}[strategy]
+    opts = tri_solve_options_from_plan(plan, model_strategy, workers)
+    cross = 0
+    if workers > 1:
+        cross = plan.worker_plans(workers).cross_deps()
+        if model_strategy == "p2p":
+            opts.cross_deps = cross
+    nnzb = plan.cols.shape[0]
+    return (
+        trsv_time(XEON_E5_2690_V2, nnzb, plan.n, plan.b, opts),
+        ilu_time(
+            XEON_E5_2690_V2, plan.factor_block_ops(), nnzb, plan.n, plan.b,
+            opts,
+        ),
+        int(cross),
+    )
+
+
+def run_trsv_scaling(
+    mesh,
+    workers: tuple[int, ...] = (1, 2, 4),
+    strategies: tuple[str, ...] = ("levels", "p2p"),
+    repeats: int = 5,
+    fill_level: int = 0,
+    seed: int = 7,
+    dataset: str = "?",
+    scale: float = 0.0,
+) -> dict:
+    """Sweep workers x sync strategies over process-parallel ILU+TRSV.
+
+    Times the real :class:`~repro.smp.sparse_parallel.SparseProcessBackend`
+    (barrier-per-level vs P2P-sparsified flags) against the serial kernels
+    on the mesh's Jacobian pattern, and prices every cell with the Table II
+    cost models so measured points sit next to the model curves.  Document
+    schema ``repro.bench.trsv_scaling/v1`` mirrors the flux document:
+    ``serial`` holds ``trsv_wall_seconds``/``ilu_wall_seconds``, each result
+    row adds ``cross_deps`` and ``trsv_model_seconds``/``ilu_model_seconds``.
+    """
+    from ..sparse.ilu import build_ilu_plan, ilu_factorize
+    from ..sparse.trsv import trsv_solve
+    from .sparse_parallel import SparseProcessBackend
+
+    matrix = _trsv_matrix(mesh, seed)
+    plan = build_ilu_plan(
+        matrix.rowptr, matrix.cols, b=matrix.b, fill_level=fill_level
+    )
+    rng = np.random.default_rng(seed + 1)
+    rhs = rng.normal(size=(plan.n, plan.b))
+
+    factor = ilu_factorize(matrix, plan)
+    x_ref = trsv_solve(factor, rhs)
+    serial_ilu = _time_call(lambda: ilu_factorize(matrix, plan), repeats)
+    serial_trsv = _time_call(lambda: trsv_solve(factor, rhs), repeats)
+
+    results = []
+    for w in workers:
+        for strategy in strategies:
+            with SparseProcessBackend(n_workers=w, strategy=strategy) as be:
+                pf = be.factorize(matrix, plan)  # warm-up + correctness
+                x = be.solve(pf, rhs)
+                dev = float(np.max(np.abs(x - x_ref)))
+                ilu_wall = _time_call(
+                    lambda: be.factorize(matrix, plan), repeats
+                )
+                trsv_wall = _time_call(lambda: be.solve(pf, rhs), repeats)
+            trsv_model, ilu_model, cross = _trsv_model_seconds(
+                plan, strategy, w
+            )
+            results.append({
+                "strategy": strategy,
+                "workers": int(w),
+                "wall_seconds": trsv_wall,  # gate/history cell (TRSV)
+                "trsv_wall_seconds": trsv_wall,
+                "ilu_wall_seconds": ilu_wall,
+                "trsv_speedup": serial_trsv / trsv_wall,
+                "ilu_speedup": serial_ilu / ilu_wall,
+                "max_abs_dev": dev,
+                "cross_deps": cross,
+                "trsv_model_seconds": trsv_model,
+                "ilu_model_seconds": ilu_model,
+            })
+    sched = plan.schedule
+    return {
+        "schema": TRSV_SCHEMA,
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "fill_level": int(fill_level),
+        "n_vertices": int(mesh.n_vertices),
+        "nnzb": int(plan.cols.shape[0]),
+        "repeats": int(repeats),
+        "n_levels": len(sched.levels),
+        "max_level_width": int(sched.max_level_width),
+        "serial": {
+            "wall_seconds": serial_trsv,
+            "trsv_wall_seconds": serial_trsv,
+            "ilu_wall_seconds": serial_ilu,
+        },
+        "results": results,
+    }
+
+
 def run_dist_breakdown(
     mesh,
     n_ranks: int = 4,
@@ -260,13 +399,66 @@ def gate_failures(
     return failures
 
 
+def trsv_gate_failures(
+    doc: dict,
+    tol: float = 1e-12,
+    max_slowdown: float = 1.25,
+    gate_strategy: str = "p2p",
+) -> list[str]:
+    """CI gate for the TRSV sweep; same two checks as :func:`gate_failures`.
+
+    (1) Both sync strategies reproduced the serial solve bitwise-tight
+    (``max_abs_dev <= tol`` for every cell); (2) the P2P backend's solve at
+    the largest measured worker count is within ``max_slowdown``x of the
+    serial TRSV wall.  Speedup > 1 is reported in the document but not
+    gated — single- and dual-core CI runners cannot promise it.
+    """
+    return gate_failures(
+        doc, tol=tol, max_slowdown=max_slowdown, gate_strategy=gate_strategy
+    )
+
+
+def rolling_trsv_gate_failures(
+    doc: dict,
+    history: list[dict],
+    window: int = 5,
+    max_regression: float = 1.25,
+    tol: float = 1e-12,
+    gate_strategy: str = "p2p",
+) -> list[str]:
+    """Trend-aware TRSV gate (see :func:`rolling_gate_failures`)."""
+    return rolling_gate_failures(
+        doc, history, window=window, max_regression=max_regression, tol=tol,
+        gate_strategy=gate_strategy,
+    )
+
+
 # ---------------------------------------------------------------------------
 # trend tracking: JSONL history + rolling-median regression gate
 # ---------------------------------------------------------------------------
 
+def _doc_kind(record: dict) -> str:
+    """``trsv`` for TRSV-sweep documents/records, else ``flux``."""
+    kind = record.get("kind")
+    if kind is not None:
+        return kind
+    return "trsv" if record.get("schema") == TRSV_SCHEMA else "flux"
+
+
 def _history_key(record: dict) -> tuple:
-    """Runs are only comparable on the same problem configuration."""
-    return (record.get("dataset"), record.get("scale"), record.get("seed"))
+    """Runs are only comparable on the same problem configuration.
+
+    ``kind`` separates flux-loop and TRSV-sweep records sharing one history
+    file; pre-existing records (written before the TRSV sweep existed) carry
+    no kind and default to ``flux``, so old histories stay comparable.
+    """
+    return (
+        _doc_kind(record),
+        record.get("dataset"),
+        record.get("scale"),
+        record.get("seed"),
+        record.get("fill_level"),
+    )
 
 
 def append_history(doc: dict, path: str) -> dict:
@@ -279,9 +471,11 @@ def append_history(doc: dict, path: str) -> dict:
     record = {
         "schema": HISTORY_SCHEMA,
         "timestamp": time.time(),
+        "kind": _doc_kind(doc),
         "dataset": doc.get("dataset"),
         "scale": doc.get("scale"),
         "seed": doc.get("seed"),
+        "fill_level": doc.get("fill_level"),
         "serial_wall_seconds": doc["serial"]["wall_seconds"],
         "walls": {
             f"{r['strategy']}@{r['workers']}": r["wall_seconds"]

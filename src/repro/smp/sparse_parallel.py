@@ -1,0 +1,553 @@
+"""Process-parallel ILU factorization and triangular solves over shm.
+
+:mod:`repro.smp.parallel` parallelized the paper's *edge* kernels; this
+module does the same for its other pair of hot kernels — the sparse,
+narrow-band recurrences (Fig. 7 / Table II): numeric block-ILU
+factorization and the blocked triangular solves that apply it.  A
+:class:`SparseProcessBackend` forks persistent workers per
+:class:`~repro.sparse.ilu.ILUPlan`; factors, right-hand sides and
+solutions live in a :class:`~repro.smp.shm.SharedArrayPool`, and each
+worker executes the per-worker program emitted by
+:func:`repro.sparse.wplan.build_worker_plans` with one of the paper's two
+synchronization strategies:
+
+``levels``
+    Barrier-per-wavefront level scheduling [Anderson & Saad 1989]: workers
+    own contiguous row chunks of every wavefront and meet at a
+    ``multiprocessing`` barrier between levels.  Sync cost scales with
+    ``n_levels * workers`` regardless of the dependency structure.
+``p2p``
+    Point-to-point sparsified synchronization [Park et al., ISC'14]: a
+    shared per-row *generation* array replaces the barrier.  A worker
+    publishes ``flags[rows] = gen`` after finishing a chunk and spin-waits
+    only on the rows its chunk actually depends on — and of those only the
+    dependencies *retained* by the 2-hop transitive reduction
+    (:func:`repro.sparse.p2p.sparsify_transitive`).  Removed edges are
+    safe: the retained predecessor itself (transitively) waited on them
+    before publishing.
+
+Generations make the flags monotone — no reset pass between calls.  The
+parent hands out ``gen+1`` for a factorization, ``gen+1``/``gen+2`` for
+the forward/backward sweeps of a solve; every pass publishes every row, so
+a flag from an older pass can never satisfy a newer wait.
+
+Numerics contract: both strategies are *bitwise identical* to the serial
+kernels for any worker count — chunks are contiguous slices of each
+wavefront and all batched operations preserve the serial accumulation
+order (property-tested in ``tests/test_sparse_parallel.py``).
+
+Install with :func:`repro.sparse.use_sparse_backend` (re-exported here):
+``ilu_factorize`` / ``trsv_solve`` then dispatch automatically, which is
+how the Newton–Krylov driver and the per-rank preconditioners of the
+distributed runtime pick it up.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import multiprocessing.connection as mp_conn
+import os
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..obs.metrics import get_metrics
+from ..obs.span import get_tracer
+from ..sparse.bcsr import BCSRMatrix
+from ..sparse.ilu import ILUFactor, ILUPlan
+from ..sparse.wplan import SparseExecPlan, WorkerPlan
+from .shm import SharedArrayPool
+
+__all__ = ["SparseProcessBackend", "SPARSE_STRATEGIES"]
+
+SPARSE_STRATEGIES = ("levels", "p2p")
+
+
+def _wait_flags(
+    flags: np.ndarray, idx: np.ndarray, gen: int, deadline: float
+) -> None:
+    """Spin until every row in ``idx`` has published generation ``gen``.
+
+    ``sleep(0)`` yields the GIL-free core so sibling workers make progress
+    even when oversubscribed (the CI runners have 2 cores).
+    """
+    if idx.shape[0] == 0:
+        return
+    while not (flags[idx] >= gen).all():
+        if time.monotonic() > deadline:
+            missing = idx[flags[idx] < gen]
+            raise RuntimeError(
+                f"p2p wait timed out; rows {missing[:8].tolist()} "
+                f"never reached generation {gen}"
+            )
+        time.sleep(0)
+
+
+@dataclass
+class _SparseSpec:
+    """One worker's view of a fleet (inherited through fork)."""
+
+    wid: int
+    strategy: str
+    timeout: float
+    wplan: WorkerPlan
+    vals: np.ndarray
+    diag_inv: np.ndarray
+    rhs: np.ndarray
+    y: np.ndarray
+    x: np.ndarray
+    flags: np.ndarray
+
+
+def _run_ilu(spec: _SparseSpec, barrier, gen: int) -> None:
+    vals, diag_inv, flags = spec.vals, spec.diag_inv, spec.flags
+    p2p = spec.strategy == "p2p"
+    deadline = time.monotonic() + spec.timeout
+    for chunk in spec.wplan.ilu:
+        if p2p:
+            _wait_flags(flags, chunk.wait, gen, deadline)
+        for sb in chunk.steps:
+            if sb.lik_idx.shape[0] == 0:
+                continue
+            lik = np.einsum(
+                "nij,njk->nik", vals[sb.lik_idx], diag_inv[sb.krow]
+            )
+            vals[sb.lik_idx] = lik
+            if sb.t_dest.shape[0]:
+                upd = np.einsum(
+                    "nij,njk->nik", lik[sb.t_entry], vals[sb.t_ukj]
+                )
+                vals[sb.t_dest] -= upd
+        if chunk.rows.shape[0]:
+            diag_inv[chunk.rows] = np.linalg.inv(vals[chunk.diag_idx])
+        if p2p:
+            flags[chunk.rows] = gen
+        else:
+            barrier.wait(spec.timeout)
+
+
+def _run_trsv(
+    spec: _SparseSpec, barrier, acc: np.ndarray, gf: int, gb: int
+) -> None:
+    vals, diag_inv, flags = spec.vals, spec.diag_inv, spec.flags
+    b, y, x = spec.rhs, spec.y, spec.x
+    p2p = spec.strategy == "p2p"
+    deadline = time.monotonic() + spec.timeout
+
+    # forward: y_i = b_i - sum_k L_ik y_k
+    for ch in spec.wplan.fwd:
+        if p2p:
+            _wait_flags(flags, ch.wait, gf, deadline)
+        rows = ch.rows
+        if rows.shape[0]:
+            if ch.pair_blk.shape[0]:
+                contrib = np.einsum(
+                    "nij,nj->ni", vals[ch.pair_blk], y[ch.pair_col]
+                )
+                a = acc[: rows.shape[0]]
+                a[:] = 0.0
+                np.add.at(a, ch.slot, contrib)
+                y[rows] = b[rows] - a
+            else:
+                y[rows] = b[rows]
+        if p2p:
+            flags[rows] = gf
+        else:
+            barrier.wait(spec.timeout)
+
+    # backward: x_i = inv(U_ii) (y_i - sum_{j>i} U_ij x_j)
+    for ch in spec.wplan.bwd:
+        if p2p:
+            _wait_flags(flags, ch.wait_prev, gf, deadline)
+            _wait_flags(flags, ch.wait, gb, deadline)
+        rows = ch.rows
+        if rows.shape[0]:
+            if ch.pair_blk.shape[0]:
+                contrib = np.einsum(
+                    "nij,nj->ni", vals[ch.pair_blk], x[ch.pair_col]
+                )
+                a = acc[: rows.shape[0]]
+                a[:] = 0.0
+                np.add.at(a, ch.slot, contrib)
+                x[rows] = np.einsum(
+                    "nij,nj->ni", diag_inv[rows], y[rows] - a
+                )
+            else:
+                x[rows] = np.einsum("nij,nj->ni", diag_inv[rows], y[rows])
+        if p2p:
+            flags[rows] = gb
+        else:
+            barrier.wait(spec.timeout)
+
+
+def _sparse_worker_loop(wid: int, spec: _SparseSpec, conn, barrier) -> None:
+    """Worker main: serve tasks off the duplex pipe until ``None`` arrives."""
+    acc = np.zeros((spec.wplan.max_rows, spec.rhs.shape[1]))
+    while True:
+        try:
+            task = conn.recv()
+        except EOFError:  # parent is gone
+            break
+        if task is None:
+            break
+        kind, seq = task[0], task[1]
+        t0 = time.perf_counter()
+        err = None
+        try:
+            if kind == "ilu":
+                _run_ilu(spec, barrier, task[2])
+            elif kind == "trsv":
+                _run_trsv(spec, barrier, acc, task[2], task[3])
+            elif kind == "sleep":  # test/diagnostic hook
+                time.sleep(task[2])
+            else:
+                raise ValueError(f"unknown task kind {kind!r}")
+        except Exception as exc:  # surfaced to the parent, never swallowed
+            err = f"{type(exc).__name__}: {exc}"
+        conn.send((wid, seq, t0, time.perf_counter(), err))
+
+
+@dataclass
+class _Fleet:
+    """Workers + shared arrays serving one ILU plan."""
+
+    plan: ILUPlan
+    exec_plan: SparseExecPlan
+    pool: SharedArrayPool
+    vals: np.ndarray
+    diag_inv: np.ndarray
+    rhs: np.ndarray
+    y: np.ndarray
+    x: np.ndarray
+    flags: np.ndarray
+    barrier: Any
+    conns: list
+    workers: list
+    factor: ILUFactor
+    gen: int = dc_field(default=0)
+
+
+class SparseProcessBackend:
+    """Multiprocess executor of ILU factorization and triangular solves.
+
+    Install with :func:`repro.sparse.use_sparse_backend`; the sequential
+    kernels then dispatch here whenever ``handles_plan``/``handles_factor``
+    accepts.  One persistent worker *fleet* is forked per distinct
+    :class:`ILUPlan` (capped at ``max_plans``), so the solver's repeated
+    factorize/solve cycle reuses warm processes and shared segments.
+
+    Parameters
+    ----------
+    n_workers:
+        worker process count (the paper's "threads").
+    strategy:
+        ``levels`` (barrier per wavefront) or ``p2p`` (sparsified
+        point-to-point done-flags); see the module docstring.
+    timeout:
+        seconds to wait for a worker round (and for intra-round barrier /
+        flag waits) before declaring the fleet dead.
+    span_sink:
+        optional ``(name, t0, t1, **attrs)`` callable receiving per-worker
+        ``ilu.w<i>`` / ``trsv.w<i>`` spans.  Defaults to the active
+        :mod:`repro.obs` tracer; distributed ranks pass their
+        ``SpanRecorder.add`` so the spans land in the rank's trace.
+    max_plans:
+        distinct plans served before ``handles_plan`` starts declining
+        (callers then fall back to the sequential kernels).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        strategy: str = "p2p",
+        timeout: float = 120.0,
+        span_sink: Callable[..., None] | None = None,
+        max_plans: int = 8,
+    ) -> None:
+        if strategy not in SPARSE_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; pick one of "
+                f"{SPARSE_STRATEGIES}"
+            )
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "SparseProcessBackend needs the 'fork' start method "
+                "(POSIX only); use the serial kernels on this platform"
+            )
+        self.n_workers = int(n_workers)
+        self.strategy = strategy
+        self.timeout = float(timeout)
+        self.max_plans = int(max_plans)
+        self._span_sink = span_sink
+        self._fleets: dict[int, _Fleet] = {}
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self._broken = False
+        self._seq = 0
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def handles_plan(self, plan: ILUPlan) -> bool:
+        """True iff ``ilu_factorize(plan)`` should be routed here."""
+        if self._closed or self._broken:
+            return False
+        return id(plan) in self._fleets or len(self._fleets) < self.max_plans
+
+    def handles_factor(self, factor: ILUFactor) -> bool:
+        """True iff ``factor`` came out of this backend's ``factorize``."""
+        if self._closed or self._broken:
+            return False
+        fleet = self._fleets.get(id(factor.plan))
+        return fleet is not None and factor.vals is fleet.vals
+
+    def segment_names(self) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for fid, fleet in self._fleets.items():
+            for key, name in fleet.pool.segment_names().items():
+                out[f"{fid}.{key}"] = name
+        return out
+
+    # ------------------------------------------------------------------
+    def _require_usable(self) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self._broken:
+            raise RuntimeError(
+                "backend is unusable after a worker failure; create a new one"
+            )
+
+    def _fleet_for(self, plan: ILUPlan) -> _Fleet:
+        fleet = self._fleets.get(id(plan))
+        if fleet is not None:
+            return fleet
+        exec_plan = plan.worker_plans(self.n_workers)
+        pool = SharedArrayPool()
+        vals = pool.zeros("vals", (plan.factor_nnzb, plan.b, plan.b))
+        diag_inv = pool.zeros("diag_inv", (plan.n, plan.b, plan.b))
+        rhs = pool.zeros("rhs", (plan.n, plan.b))
+        y = pool.zeros("y", (plan.n, plan.b))
+        x = pool.zeros("x", (plan.n, plan.b))
+        flags = pool.zeros("flags", (plan.n,), dtype=np.int64)
+        ctx = mp.get_context("fork")
+        barrier = ctx.Barrier(self.n_workers)
+        conns, workers = [], []
+        for s in range(self.n_workers):
+            spec = _SparseSpec(
+                wid=s,
+                strategy=self.strategy,
+                timeout=self.timeout,
+                wplan=exec_plan.workers[s],
+                vals=vals,
+                diag_inv=diag_inv,
+                rhs=rhs,
+                y=y,
+                x=x,
+                flags=flags,
+            )
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            p = ctx.Process(
+                target=_sparse_worker_loop,
+                args=(s, spec, child_conn, barrier),
+                daemon=True,
+                name=f"repro-sparse-w{s}",
+            )
+            p.start()
+            child_conn.close()  # parent keeps only its end
+            conns.append(parent_conn)
+            workers.append(p)
+        fleet = _Fleet(
+            plan=plan,
+            exec_plan=exec_plan,
+            pool=pool,
+            vals=vals,
+            diag_inv=diag_inv,
+            rhs=rhs,
+            y=y,
+            x=x,
+            flags=flags,
+            barrier=barrier,
+            conns=conns,
+            workers=workers,
+            factor=ILUFactor(plan=plan, vals=vals, diag_inv=diag_inv),
+        )
+        self._fleets[id(plan)] = fleet
+        met = get_metrics()
+        met.counter("sparse_parallel.fleets").inc()
+        met.gauge("sparse_parallel.cross_deps").set(exec_plan.cross_deps())
+        return fleet
+
+    def _dispatch_collect(
+        self, fleet: _Fleet, task_tail: tuple, span_prefix: str | None = None
+    ) -> list[tuple[int, float, float]]:
+        """Send one task to every fleet worker, wait for all results."""
+        self._require_usable()
+        self._seq += 1
+        seq = self._seq
+        task = (task_tail[0], seq) + tuple(task_tail[1:])
+        for conn in fleet.conns:
+            conn.send(task)
+        results: list[tuple[int, float, float]] = []
+        pending = dict(enumerate(fleet.conns))
+        deadline = time.monotonic() + self.timeout
+        while pending:
+            ready = mp_conn.wait(list(pending.values()), timeout=0.2)
+            if not ready:
+                dead = [
+                    fleet.workers[i].name
+                    for i in pending
+                    if not fleet.workers[i].is_alive()
+                ]
+                if dead:
+                    self._broken = True
+                    raise RuntimeError(
+                        f"sparse worker process(es) died mid-solve: {dead}"
+                    )
+                if time.monotonic() > deadline:
+                    self._broken = True
+                    raise RuntimeError(
+                        f"timed out after {self.timeout}s waiting for workers"
+                    )
+                continue
+            for conn in ready:
+                try:
+                    wid, rseq, t0, t1, err = conn.recv()
+                except EOFError:
+                    self._broken = True
+                    raise RuntimeError(
+                        "sparse worker died mid-solve (pipe closed)"
+                    ) from None
+                if rseq != seq:
+                    continue  # stale result from an aborted round
+                if err is not None:
+                    self._broken = True
+                    raise RuntimeError(f"sparse worker {wid} failed: {err}")
+                results.append((wid, t0, t1))
+                del pending[wid]
+        if span_prefix is not None:
+            self._emit_spans(span_prefix, results)
+        return results
+
+    def _emit_spans(
+        self, prefix: str, results: list[tuple[int, float, float]]
+    ) -> None:
+        sink = self._span_sink
+        if sink is None:
+            tracer = get_tracer()
+            if not tracer.active:
+                return
+            sink = tracer.add_complete
+        for wid, t0, t1 in results:
+            sink(
+                f"{prefix}.w{wid}",
+                t0,
+                t1,
+                strategy=self.strategy,
+                workers=self.n_workers,
+            )
+
+    # ------------------------------------------------------------------
+    def factorize(self, matrix: BCSRMatrix, plan: ILUPlan) -> ILUFactor:
+        """Parallel counterpart of :func:`repro.sparse.ilu.ilu_factorize`.
+
+        The returned factor's ``vals`` / ``diag_inv`` are views of the
+        fleet's shared segments; a later ``factorize`` on the same plan
+        overwrites them in place (the solver always applies the newest
+        factorization, exactly as with the serial kernel's fresh arrays).
+        """
+        self._require_usable()
+        fleet = self._fleet_for(plan)
+        fleet.vals.fill(0.0)
+        fleet.vals[plan.orig_map] = matrix.vals
+        fleet.gen += 1
+        self._dispatch_collect(fleet, ("ilu", fleet.gen), span_prefix="ilu")
+        get_metrics().counter("sparse_parallel.factorizations").inc()
+        return fleet.factor
+
+    def solve(
+        self,
+        factor: ILUFactor,
+        rhs: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Parallel counterpart of :func:`repro.sparse.trsv.trsv_solve`.
+
+        Always materializes the solution *outside* the shared segments
+        (into ``out`` or a fresh array): Krylov callers keep every
+        preconditioned vector in their flexible basis, so handing out a
+        view of ``x`` that the next solve overwrites would corrupt it.
+        """
+        self._require_usable()
+        fleet = self._fleets.get(id(factor.plan))
+        if fleet is None or factor.vals is not fleet.vals:
+            raise ValueError("factor was not produced by this backend")
+        plan = factor.plan
+        flat = rhs.ndim == 1
+        fleet.rhs[...] = rhs.reshape(plan.n, plan.b)
+        gf, gb = fleet.gen + 1, fleet.gen + 2
+        fleet.gen = gb
+        self._dispatch_collect(fleet, ("trsv", gf, gb), span_prefix="trsv")
+        get_metrics().counter("sparse_parallel.solves").inc()
+        if out is not None:
+            np.copyto(out.reshape(plan.n, plan.b), fleet.x)
+            return out
+        x = fleet.x.copy()
+        return x.reshape(-1) if flat else x
+
+    def _debug_sleep(self, plan: ILUPlan, seconds: float) -> None:
+        """Park a fleet's workers in a sleep task (test hook for kills)."""
+        fleet = self._fleet_for(plan)
+        self._dispatch_collect(fleet, ("sleep", float(seconds)))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop all fleets and unlink their shared segments.  Idempotent."""
+        if self._closed or os.getpid() != self._owner_pid:
+            return
+        self._closed = True
+        for fleet in self._fleets.values():
+            for i, p in enumerate(fleet.workers):
+                if p.is_alive():
+                    try:
+                        fleet.conns[i].send(None)
+                    except Exception:
+                        pass
+            for p in fleet.workers:
+                p.join(timeout=2.0)
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=2.0)
+                if p.is_alive():
+                    p.kill()
+                    p.join(timeout=1.0)
+            for conn in fleet.conns:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            fleet.pool.close()
+        self._fleets.clear()
+        try:
+            atexit.unregister(self.close)
+        except Exception:
+            pass
+
+    def __enter__(self) -> "SparseProcessBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -54,6 +54,11 @@ class SolverOptions:
     #: the assembled first-order Jacobian is the Krylov operator itself
     #: (cheaper per iteration, first-order-limited convergence path).
     matrix_free: bool = True
+    #: ``serial`` (in-process kernels) or ``process``: run ILU/TRSV on a
+    #: :class:`repro.smp.sparse_parallel.SparseProcessBackend` fleet.
+    sparse_backend: str = "serial"
+    sparse_strategy: str = "p2p"  # levels | p2p
+    sparse_workers: int = 2
 
 
 @dataclass
@@ -89,8 +94,38 @@ def solve_steady(
     kernel names (Flux+BC residual assembly under ``flux``/``grad``,
     ``jacobian``, ``ilu``, ``trsv`` inside the preconditioner, vector
     primitives from GMRES under their PETSc names).
+
+    With ``opts.sparse_backend == "process"`` the preconditioner's ILU
+    factorizations and triangular solves run on a process fleet
+    (:class:`repro.smp.sparse_parallel.SparseProcessBackend`) for the
+    duration of the solve; the workers persist across Newton steps and
+    Krylov iterations and are torn down on exit.
     """
     opts = opts or SolverOptions()
+    if opts.sparse_backend == "process":
+        from ..smp.sparse_parallel import SparseProcessBackend
+        from ..sparse.dispatch import use_sparse_backend
+
+        with SparseProcessBackend(
+            n_workers=max(1, opts.sparse_workers),
+            strategy=opts.sparse_strategy,
+        ) as backend, use_sparse_backend(backend):
+            return _solve_steady_impl(fld, config, opts, q0, callback)
+    elif opts.sparse_backend != "serial":
+        raise ValueError(
+            f"unknown sparse backend {opts.sparse_backend!r}; "
+            "pick 'serial' or 'process'"
+        )
+    return _solve_steady_impl(fld, config, opts, q0, callback)
+
+
+def _solve_steady_impl(
+    fld: FlowField,
+    config: FlowConfig,
+    opts: SolverOptions,
+    q0: np.ndarray | None,
+    callback: Callable[[int, float, float], None] | None,
+) -> SolveResult:
     tracer = get_tracer()
     metrics = get_metrics()
     nv = fld.n_vertices

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..sparse.bcsr import BCSRMatrix
 from ..sparse.ilu import ILUPlan, build_ilu_plan, ilu_factorize
-from ..sparse.trsv import trsv_solve
+from ..sparse.trsv import TrsvWorkspace, trsv_solve
 
 __all__ = ["SubdomainILU", "AdditiveSchwarzILU"]
 
@@ -95,6 +95,12 @@ class AdditiveSchwarzILU:
             sub = self._build_subdomain(matrix, owned, local)
             self.subs.append(sub)
         self._factors = [None] * self.n_subdomains
+        # per-subdomain scratch, reused across Krylov iterations (the solve
+        # runs every GMRES iteration; allocating there dominated profiles)
+        self._work = [TrsvWorkspace.for_plan(s.plan) for s in self.subs]
+        self._local_z = [
+            np.zeros((s.local_rows.shape[0], self.b)) for s in self.subs
+        ]
 
     def _build_subdomain(
         self, matrix: BCSRMatrix, owned: np.ndarray, local: np.ndarray
@@ -140,7 +146,12 @@ class AdditiveSchwarzILU:
             self._factors[s] = ilu_factorize(local, sub.plan)
 
     def apply(self, r: np.ndarray) -> np.ndarray:
-        """z = M^-1 r (restricted additive Schwarz combination)."""
+        """z = M^-1 r (restricted additive Schwarz combination).
+
+        Always returns a *fresh* array: Krylov callers keep each
+        preconditioned vector in their flexible basis, so internal scratch
+        is never handed out.
+        """
         flat = r.ndim == 1
         rb = r.reshape(self.n, self.b)
         z = np.zeros_like(rb)
@@ -149,6 +160,8 @@ class AdditiveSchwarzILU:
             if factor is None:
                 raise RuntimeError("preconditioner not updated")
             local_r = rb[sub.local_rows]
-            local_z = trsv_solve(factor, local_r)
+            local_z = trsv_solve(
+                factor, local_r, out=self._local_z[s], work=self._work[s]
+            )
             z[sub.local_rows[sub.owned_mask]] = local_z[sub.owned_mask]
         return z.reshape(-1) if flat else z

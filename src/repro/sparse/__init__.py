@@ -1,6 +1,7 @@
 """Block sparse linear algebra: BCSR, ILU(k), TRSV, level scheduling, P2P."""
 
 from .bcsr import BCSRMatrix, bcsr_pattern_from_edges
+from .dispatch import get_sparse_backend, use_sparse_backend
 from .fill import ilu_symbolic
 from .ilu import ILUFactor, ILUPlan, build_ilu_plan, ilu_factorize
 from .levels import (
@@ -15,11 +16,14 @@ from .p2p import (
     cross_thread_syncs,
     sparsify_transitive,
 )
-from .trsv import trsv_solve, trsv_solve_sequential
+from .trsv import TrsvWorkspace, trsv_solve, trsv_solve_sequential
+from .wplan import SparseExecPlan, WorkerPlan, build_worker_plans
 
 __all__ = [
     "BCSRMatrix",
     "bcsr_pattern_from_edges",
+    "get_sparse_backend",
+    "use_sparse_backend",
     "ilu_symbolic",
     "ILUFactor",
     "ILUPlan",
@@ -33,6 +37,10 @@ __all__ = [
     "build_dependency_graph",
     "cross_thread_syncs",
     "sparsify_transitive",
+    "TrsvWorkspace",
     "trsv_solve",
     "trsv_solve_sequential",
+    "SparseExecPlan",
+    "WorkerPlan",
+    "build_worker_plans",
 ]

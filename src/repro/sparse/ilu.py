@@ -26,6 +26,7 @@ import numpy as np
 
 from ..obs.metrics import get_metrics
 from .bcsr import BCSRMatrix
+from .dispatch import get_sparse_backend
 from .fill import ilu_symbolic
 from .levels import LevelSchedule, build_levels
 
@@ -56,6 +57,7 @@ class _LevelPairs:
     pair_row: np.ndarray  # row index per off-diagonal block
     pair_blk: np.ndarray  # block value index
     pair_col: np.ndarray  # column (the already-solved unknown)
+    pair_slot: np.ndarray  # position of pair_row within rows (local slot)
 
 
 @dataclass
@@ -75,9 +77,29 @@ class ILUPlan:
     fwd_pairs: list[_LevelPairs]
     bwd_pairs: list[_LevelPairs]
     factor_nnzb: int = field(init=False)
+    _wplans: dict = field(init=False, default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.factor_nnzb = int(self.cols.shape[0])
+
+    def worker_plans(self, n_workers: int):
+        """Per-worker execution programs (cached per worker count).
+
+        Extends the symbolic phase for the process backend; see
+        :func:`repro.sparse.wplan.build_worker_plans`.
+        """
+        key = int(n_workers)
+        if key not in self._wplans:
+            from .wplan import build_worker_plans
+
+            self._wplans[key] = build_worker_plans(self, key)
+        return self._wplans[key]
+
+    def max_level_rows(self) -> int:
+        """Widest wavefront across both sweeps (sizes solve scratch)."""
+        widths = [lp.rows.shape[0] for lp in self.fwd_pairs]
+        widths += [lp.rows.shape[0] for lp in self.bwd_pairs]
+        return max(widths, default=1)
 
     # work accounting used by the machine model
     def factor_block_ops(self) -> int:
@@ -204,12 +226,15 @@ def build_ilu_plan(
                 pr.append(i)
                 pb.append(flo + p)
                 pc.append(int(low[p]))
+        lrows = np.asarray(rows, dtype=np.int64)
+        lpr = np.asarray(pr, dtype=np.int64)
         fwd_pairs.append(
             _LevelPairs(
-                rows=np.asarray(rows, dtype=np.int64),
-                pair_row=np.asarray(pr, dtype=np.int64),
+                rows=lrows,
+                pair_row=lpr,
                 pair_blk=np.asarray(pb, dtype=np.int64),
                 pair_col=np.asarray(pc, dtype=np.int64),
+                pair_slot=np.searchsorted(lrows, lpr),
             )
         )
     bwd_pairs: list[_LevelPairs] = []
@@ -222,12 +247,15 @@ def build_ilu_plan(
                 pr.append(i)
                 pb.append(flo + p)
                 pc.append(int(f_cols[flo + p]))
+        lrows = np.asarray(rows, dtype=np.int64)
+        lpr = np.asarray(pr, dtype=np.int64)
         bwd_pairs.append(
             _LevelPairs(
-                rows=np.asarray(rows, dtype=np.int64),
-                pair_row=np.asarray(pr, dtype=np.int64),
+                rows=lrows,
+                pair_row=lpr,
                 pair_blk=np.asarray(pb, dtype=np.int64),
                 pair_col=np.asarray(pc, dtype=np.int64),
+                pair_slot=np.searchsorted(lrows, lpr),
             )
         )
 
@@ -261,6 +289,9 @@ def ilu_factorize(matrix: BCSRMatrix, plan: ILUPlan) -> ILUFactor:
     met.counter("ilu.factorizations").inc()
     met.gauge("ilu.factor_nnzb").set(plan.factor_nnzb)
     met.gauge("ilu.fwd_levels").set(len(plan.schedule.levels))
+    backend = get_sparse_backend()
+    if backend is not None and backend.handles_plan(plan):
+        return backend.factorize(matrix, plan)
     vals = np.zeros((plan.factor_nnzb, plan.b, plan.b))
     vals[plan.orig_map] = matrix.vals
     diag_inv = np.zeros((plan.n, plan.b, plan.b))

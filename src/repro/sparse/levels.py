@@ -44,6 +44,28 @@ class LevelSchedule:
     def widths(self) -> np.ndarray:
         return np.array([lvl.shape[0] for lvl in self.levels], dtype=np.int64)
 
+    @property
+    def max_level_width(self) -> int:
+        """Rows in the widest wavefront — the hard cap on useful workers."""
+        return int(self.widths().max()) if self.levels else 0
+
+    def width_histogram(self) -> list[tuple[int, int, int]]:
+        """Level counts bucketed by power-of-two width.
+
+        Returns ``(lo, hi, count)`` rows — ``count`` levels have between
+        ``lo`` and ``hi`` rows (inclusive).  Sanity-checks a worker count:
+        levels narrower than the worker pool serialize into sync overhead.
+        """
+        widths = self.widths()
+        if widths.shape[0] == 0:
+            return []
+        buckets = np.floor(np.log2(np.maximum(widths, 1))).astype(np.int64)
+        out = []
+        for bkt in np.unique(buckets):
+            lo, hi = 2**int(bkt), 2 ** (int(bkt) + 1) - 1
+            out.append((lo, hi, int((buckets == bkt).sum())))
+        return out
+
 
 def build_levels(rowptr: np.ndarray, cols: np.ndarray) -> LevelSchedule:
     """Level schedule of the lower-triangular part of a sorted-CSR pattern.

@@ -16,58 +16,109 @@ Two implementations:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..obs.metrics import get_metrics
-from .ilu import ILUFactor
+from .dispatch import get_sparse_backend
+from .ilu import ILUFactor, ILUPlan
 
-__all__ = ["trsv_solve", "trsv_solve_sequential"]
+__all__ = ["TrsvWorkspace", "trsv_solve", "trsv_solve_sequential"]
 
 
-def trsv_solve(factor: ILUFactor, rhs: np.ndarray) -> np.ndarray:
+@dataclass
+class TrsvWorkspace:
+    """Reusable scratch for :func:`trsv_solve`.
+
+    The solve runs every Krylov iteration; without this it allocated two
+    ``(n, b)`` vectors plus an ``(n, b)`` accumulator per wavefront.  A
+    workspace pins those once and the per-level accumulator shrinks to the
+    widest wavefront.  Never holds the *result* — callers own that (Krylov
+    methods keep each preconditioned vector in the flexible basis).
+    """
+
+    y: np.ndarray  # (n, b) forward-substitution result
+    x: np.ndarray  # (n, b) backward-substitution result
+    acc: np.ndarray  # (max level width, b) per-level accumulator
+
+    @classmethod
+    def for_plan(cls, plan: ILUPlan) -> "TrsvWorkspace":
+        return cls(
+            y=np.zeros((plan.n, plan.b)),
+            x=np.zeros((plan.n, plan.b)),
+            acc=np.zeros((plan.max_level_rows(), plan.b)),
+        )
+
+    def fits(self, plan: ILUPlan) -> bool:
+        return (
+            self.y.shape == (plan.n, plan.b)
+            and self.acc.shape[0] >= plan.max_level_rows()
+        )
+
+
+def trsv_solve(
+    factor: ILUFactor,
+    rhs: np.ndarray,
+    out: np.ndarray | None = None,
+    work: TrsvWorkspace | None = None,
+) -> np.ndarray:
     """Solve ``L U x = rhs`` with level-scheduled batched block ops.
 
     ``rhs`` may be ``(n, b)`` or flat ``(n*b,)``; the result matches.
+    ``out`` (same shape as ``rhs``) receives the solution when given —
+    otherwise a fresh array is returned.  ``work`` supplies reusable
+    scratch (:class:`TrsvWorkspace`) so repeated solves stop allocating.
     """
     plan = factor.plan
     flat = rhs.ndim == 1
     b = rhs.reshape(plan.n, plan.b)
-    vals, diag_inv = factor.vals, factor.diag_inv
     met = get_metrics()
     met.counter("trsv.solves").inc()
     met.counter("trsv.block_ops").inc(plan.solve_block_ops())
 
+    backend = get_sparse_backend()
+    if backend is not None and backend.handles_factor(factor):
+        return backend.solve(factor, rhs, out=out)
+
+    vals, diag_inv = factor.vals, factor.diag_inv
+    if work is None or not work.fits(plan):
+        work = TrsvWorkspace.for_plan(plan)
+    y, x = work.y, work.x
+
     # forward: y_i = b_i - sum_k L_ik y_k
-    y = np.zeros_like(b)
     for lp in plan.fwd_pairs:
         if lp.pair_blk.shape[0]:
             contrib = np.einsum(
                 "nij,nj->ni", vals[lp.pair_blk], y[lp.pair_col]
             )
-            acc = np.zeros_like(b)
-            np.add.at(acc, lp.pair_row, contrib)
-            y[lp.rows] = b[lp.rows] - acc[lp.rows]
+            acc = work.acc[: lp.rows.shape[0]]
+            acc[:] = 0.0
+            np.add.at(acc, lp.pair_slot, contrib)
+            y[lp.rows] = b[lp.rows] - acc
         else:
             y[lp.rows] = b[lp.rows]
 
     # backward: x_i = inv(U_ii) (y_i - sum_{j>i} U_ij x_j)
-    x = np.zeros_like(b)
     for lp in plan.bwd_pairs:
+        rows = lp.rows
         if lp.pair_blk.shape[0]:
             contrib = np.einsum(
                 "nij,nj->ni", vals[lp.pair_blk], x[lp.pair_col]
             )
-            acc = np.zeros_like(b)
-            np.add.at(acc, lp.pair_row, contrib)
-            rows = lp.rows
+            acc = work.acc[: rows.shape[0]]
+            acc[:] = 0.0
+            np.add.at(acc, lp.pair_slot, contrib)
             x[rows] = np.einsum(
-                "nij,nj->ni", diag_inv[rows], y[rows] - acc[rows]
+                "nij,nj->ni", diag_inv[rows], y[rows] - acc
             )
         else:
-            rows = lp.rows
             x[rows] = np.einsum("nij,nj->ni", diag_inv[rows], y[rows])
 
-    return x.reshape(-1) if flat else x
+    if out is not None:
+        np.copyto(out.reshape(plan.n, plan.b), x)
+        return out
+    return x.reshape(-1).copy() if flat else x.copy()
 
 
 def trsv_solve_sequential(factor: ILUFactor, rhs: np.ndarray) -> np.ndarray:

@@ -1,0 +1,305 @@
+"""Per-worker execution plans for process-parallel ILU / TRSV.
+
+This extends the symbolic phase of :func:`repro.sparse.ilu.build_ilu_plan`
+for the process backend: given a plan and a worker count, every wavefront is
+split into contiguous per-worker row chunks, and each worker gets a fully
+precomputed program — remapped step batches for the numeric factorization,
+pair slices (with local accumulation slots) for both triangular sweeps, and
+cross-worker wait lists derived from the P2P-sparsified dependency graph —
+so the numeric phase stays batched-einsum over shared views with zero
+symbolic work at run time.
+
+Two synchronization disciplines consume the same chunks:
+
+* **level-barrier**: workers execute their chunk of wavefront ``l`` and meet
+  at a barrier before wavefront ``l+1`` (the classic level-scheduled walk).
+  Wait lists are ignored.
+* **P2P**: each worker publishes a per-row generation counter after
+  finishing a chunk and spin-waits only on ``chunk.wait`` — the union of its
+  rows' *retained* dependencies (after the 2-hop transitive reduction of
+  Park et al. [ISC'14]) owned by other workers.  Removed dependencies need
+  no wait because their ordering is enforced transitively: the retained
+  predecessor itself waited on them (directly or through its own chain)
+  before publishing.
+
+Determinism: chunks are contiguous slices of each wavefront's ascending row
+list and pairs/steps are filtered order-preservingly, so every per-row
+accumulation runs in exactly the serial order regardless of worker count or
+strategy — results are bitwise-identical to the sequential kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from .ilu import ILUPlan, _StepBatch
+from .p2p import (
+    DependencyGraph,
+    build_dependency_graph,
+    cross_thread_syncs,
+    sparsify_transitive,
+)
+
+__all__ = [
+    "TrsvChunk",
+    "ILUChunk",
+    "WorkerPlan",
+    "SparseExecPlan",
+    "build_worker_plans",
+]
+
+
+@dataclass
+class TrsvChunk:
+    """One worker's slice of one triangular-sweep wavefront.
+
+    ``slot[m]`` is the local accumulation row (index into ``rows``) of pair
+    ``m`` — the worker scatters into a ``(len(rows), b)`` scratch instead of
+    an ``(n, b)`` array.  ``wait`` lists same-pass rows (P2P), ``wait_prev``
+    previous-pass rows (backward sweep reading forward-sweep values).
+    """
+
+    rows: np.ndarray
+    slot: np.ndarray
+    pair_blk: np.ndarray
+    pair_col: np.ndarray
+    wait: np.ndarray
+    wait_prev: np.ndarray
+
+
+@dataclass
+class ILUChunk:
+    """One worker's slice of one factorization wavefront."""
+
+    rows: np.ndarray
+    diag_idx: np.ndarray  # plan.diag_idx[rows], pre-gathered
+    steps: list[_StepBatch]
+    wait: np.ndarray
+
+
+@dataclass
+class WorkerPlan:
+    """The complete per-worker program (one entry per wavefront)."""
+
+    wid: int
+    ilu: list[ILUChunk]
+    fwd: list[TrsvChunk]
+    bwd: list[TrsvChunk]
+    max_rows: int  # widest chunk, sizes the local accumulation scratch
+
+
+@dataclass
+class SparseExecPlan:
+    """Worker partition + programs for one (plan, n_workers) pair."""
+
+    n: int
+    b: int
+    n_workers: int
+    owner_fwd: np.ndarray  # row -> worker in the forward/ILU wavefronts
+    owner_bwd: np.ndarray  # row -> worker in the backward wavefronts
+    workers: list[WorkerPlan]
+    cross_deps_fwd: int  # retained cross-worker deps, forward graph
+    cross_deps_bwd: int
+    n_levels_fwd: int = dc_field(init=False)
+    n_levels_bwd: int = dc_field(init=False)
+
+    def __post_init__(self) -> None:
+        self.n_levels_fwd = len(self.workers[0].fwd) if self.workers else 0
+        self.n_levels_bwd = len(self.workers[0].bwd) if self.workers else 0
+
+    def cross_deps(self) -> int:
+        """Total retained cross-worker synchronizations of one solve."""
+        return self.cross_deps_fwd + self.cross_deps_bwd
+
+
+def _level_owner(levels: list[np.ndarray], n: int, w: int) -> np.ndarray:
+    """Row -> worker by contiguous chunks of each (ascending) wavefront."""
+    owner = np.zeros(n, dtype=np.int64)
+    for rows in levels:
+        bounds = np.linspace(0, rows.shape[0], w + 1).astype(np.int64)
+        for s in range(w):
+            owner[rows[bounds[s] : bounds[s + 1]]] = s
+    return owner
+
+
+def _bwd_dependency_graph(plan: ILUPlan) -> DependencyGraph:
+    """Sparsified dependency graph of the backward (upper) sweep.
+
+    Row ``i`` waits on rows ``j > i`` in its upper pattern.  Reversing the
+    indices (``r = n-1-i``) turns this into a lower-triangular graph, so the
+    forward machinery (CSR preds + 2-hop reduction) applies unchanged; the
+    result stays in reversed index space (callers map back with ``n-1-p``).
+    """
+    n = plan.n
+    rowptr, cols, diag_idx = plan.rowptr, plan.cols, plan.diag_idx
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    pred_lists: list[np.ndarray] = []
+    for r in range(n):
+        i = n - 1 - r
+        upper = cols[diag_idx[i] + 1 : rowptr[i + 1]]
+        rev = (n - 1 - upper)[::-1]  # ascending reversed preds, all < r
+        pred_lists.append(rev)
+        ptr[r + 1] = ptr[r] + rev.shape[0]
+    preds = (
+        np.concatenate(pred_lists) if pred_lists else np.zeros(0, np.int64)
+    )
+    graph = DependencyGraph(
+        pred_ptr=ptr, preds=preds, retained=np.ones(preds.shape[0], bool)
+    )
+    return sparsify_transitive(graph)
+
+
+def _chunk_wait(
+    graph: DependencyGraph,
+    rows: np.ndarray,
+    owner: np.ndarray,
+    wid: int,
+    reverse_n: int | None = None,
+) -> np.ndarray:
+    """Unique cross-worker retained-dependency rows of one chunk.
+
+    With ``reverse_n`` set, ``rows``/``owner`` live in original index space
+    while ``graph`` is in reversed space (the backward sweep).
+    """
+    waits: list[np.ndarray] = []
+    for i in rows:
+        g = (reverse_n - 1 - int(i)) if reverse_n is not None else int(i)
+        preds = graph.retained_preds(g)
+        if reverse_n is not None:
+            preds = reverse_n - 1 - preds
+        waits.append(preds[owner[preds] != wid])
+    if not waits:
+        return np.zeros(0, dtype=np.int64)
+    return np.unique(np.concatenate(waits)).astype(np.int64)
+
+
+def _split_steps(
+    plan: ILUPlan, level_steps: list[_StepBatch], rows: np.ndarray
+) -> list[_StepBatch]:
+    """Restrict one wavefront's step batches to ``rows`` (order-preserving).
+
+    Every ``lik`` entry belongs to the row containing that factor value
+    (recovered from ``plan.rowptr``); its trailing updates follow it via the
+    ``t_entry`` back-pointers, which are remapped to the filtered batch.
+    """
+    out: list[_StepBatch] = []
+    for sb in level_steps:
+        if sb.lik_idx.shape[0] == 0:
+            out.append(sb)
+            continue
+        lik_rows = np.searchsorted(plan.rowptr, sb.lik_idx, side="right") - 1
+        mask = np.isin(lik_rows, rows)
+        new_pos = np.cumsum(mask) - 1
+        t_mask = mask[sb.t_entry] if sb.t_entry.shape[0] else np.zeros(0, bool)
+        out.append(
+            _StepBatch(
+                lik_idx=sb.lik_idx[mask],
+                krow=sb.krow[mask],
+                t_entry=new_pos[sb.t_entry[t_mask]].astype(np.int64),
+                t_dest=sb.t_dest[t_mask],
+                t_ukj=sb.t_ukj[t_mask],
+            )
+        )
+    return out
+
+
+def build_worker_plans(plan: ILUPlan, n_workers: int) -> SparseExecPlan:
+    """Partition ``plan`` into per-worker execution programs.
+
+    Symbolic-phase work (run once per pattern/worker-count); the returned
+    programs drive the numeric phase with batched einsum over shared views.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    n, w = plan.n, int(n_workers)
+
+    owner_fwd = _level_owner(plan.schedule.levels, n, w)
+    owner_bwd = _level_owner(plan.schedule_back.levels, n, w)
+
+    dep_fwd = sparsify_transitive(
+        build_dependency_graph(plan.rowptr, plan.cols)
+    )
+    dep_bwd = _bwd_dependency_graph(plan)
+
+    workers: list[WorkerPlan] = []
+    for s in range(w):
+        ilu_chunks: list[ILUChunk] = []
+        fwd_chunks: list[TrsvChunk] = []
+        max_rows = 1
+        for rows, level_steps, lp in zip(
+            plan.schedule.levels, plan.steps, plan.fwd_pairs
+        ):
+            bounds = np.linspace(0, rows.shape[0], w + 1).astype(np.int64)
+            mine = rows[bounds[s] : bounds[s + 1]]
+            max_rows = max(max_rows, mine.shape[0])
+            wait = _chunk_wait(dep_fwd, mine, owner_fwd, s)
+            ilu_chunks.append(
+                ILUChunk(
+                    rows=mine,
+                    diag_idx=plan.diag_idx[mine],
+                    steps=_split_steps(plan, level_steps, mine),
+                    wait=wait,
+                )
+            )
+            # pairs of a wavefront are grouped by ascending row, so a
+            # contiguous row chunk owns a contiguous pair slice
+            if mine.shape[0] and lp.pair_row.shape[0]:
+                p0 = np.searchsorted(lp.pair_row, mine[0], side="left")
+                p1 = np.searchsorted(lp.pair_row, mine[-1], side="right")
+            else:
+                p0 = p1 = 0
+            fwd_chunks.append(
+                TrsvChunk(
+                    rows=mine,
+                    slot=lp.pair_slot[p0:p1] - bounds[s],
+                    pair_blk=lp.pair_blk[p0:p1],
+                    pair_col=lp.pair_col[p0:p1],
+                    wait=wait,
+                    wait_prev=np.zeros(0, dtype=np.int64),
+                )
+            )
+        bwd_chunks: list[TrsvChunk] = []
+        for rows, lp in zip(plan.schedule_back.levels, plan.bwd_pairs):
+            bounds = np.linspace(0, rows.shape[0], w + 1).astype(np.int64)
+            mine = rows[bounds[s] : bounds[s + 1]]
+            max_rows = max(max_rows, mine.shape[0])
+            if mine.shape[0] and lp.pair_row.shape[0]:
+                p0 = np.searchsorted(lp.pair_row, mine[0], side="left")
+                p1 = np.searchsorted(lp.pair_row, mine[-1], side="right")
+            else:
+                p0 = p1 = 0
+            bwd_chunks.append(
+                TrsvChunk(
+                    rows=mine,
+                    slot=lp.pair_slot[p0:p1] - bounds[s],
+                    pair_blk=lp.pair_blk[p0:p1],
+                    pair_col=lp.pair_col[p0:p1],
+                    wait=_chunk_wait(dep_bwd, mine, owner_bwd, s, reverse_n=n),
+                    # the backward sweep reads the forward result y at its
+                    # own rows; rows another worker produced need a
+                    # previous-pass wait
+                    wait_prev=mine[owner_fwd[mine] != s],
+                )
+            )
+        workers.append(
+            WorkerPlan(
+                wid=s,
+                ilu=ilu_chunks,
+                fwd=fwd_chunks,
+                bwd=bwd_chunks,
+                max_rows=max_rows,
+            )
+        )
+
+    return SparseExecPlan(
+        n=n,
+        b=plan.b,
+        n_workers=w,
+        owner_fwd=owner_fwd,
+        owner_bwd=owner_bwd,
+        workers=workers,
+        cross_deps_fwd=cross_thread_syncs(dep_fwd, owner_fwd),
+        cross_deps_bwd=cross_thread_syncs(dep_bwd, owner_bwd[::-1]),
+    )
