@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..perf.scatter import jacobian_edge_plan, scatter_plan
 from ..solver.gmres import gmres
 from ..solver.jfnk import fd_jacobian_operator
 from ..solver.schwarz import AdditiveSchwarzILU
@@ -185,29 +186,24 @@ def compressible_residual(
         ql = ql + dq0
         qr = qr + dq1
     flux = rusanov_euler_flux(ql, qr, fld.enormals, g)
-    res = np.zeros_like(q)
-    np.add.at(res, fld.e0, flux)
-    np.subtract.at(res, fld.e1, flux)
+    res = fld.edge_diff_plan.apply(flux)
 
-    for faces, vnormals in (
-        (fld.wall_faces, fld.wall_vnormals),
-        (fld.sym_faces, fld.sym_vnormals),
-    ):
-        for c in range(3):
-            if faces.shape[0] == 0:
-                continue
-            verts = faces[:, c]
-            np.add.at(res, verts, _wall_flux_c(q[verts], vnormals, g))
+    for which in ("wall", "sym"):
+        verts, vnormals3, cplan = fld.corner_scatter(which)
+        if verts.shape[0] == 0:
+            continue
+        cplan.apply(
+            _wall_flux_c(q[verts], vnormals3, g), out=res, accumulate=True
+        )
 
     q_inf = compressible_freestream(config)
-    if fld.far_faces.shape[0]:
-        for c in range(3):
-            verts = fld.far_faces[:, c]
-            qi = q[verts]
-            fl = rusanov_euler_flux(
-                qi, np.broadcast_to(q_inf, qi.shape), fld.far_vnormals, g
-            )
-            np.add.at(res, verts, fl)
+    verts, vnormals3, cplan = fld.corner_scatter("far")
+    if verts.shape[0]:
+        qi = q[verts]
+        fl = rusanov_euler_flux(
+            qi, np.broadcast_to(q_inf, qi.shape), vnormals3, g
+        )
+        cplan.apply(fl, out=res, accumulate=True)
     return res
 
 
@@ -216,21 +212,14 @@ def compressible_local_timestep(
 ) -> np.ndarray:
     """Local pseudo time step from the acoustic wave-speed sums."""
     g = config.gamma
-    lam_sum = np.zeros(fld.n_vertices)
     lam_e = euler_spectral_radius(q[fld.e0], q[fld.e1], fld.enormals, g)
-    np.add.at(lam_sum, fld.e0, lam_e)
-    np.add.at(lam_sum, fld.e1, lam_e)
-    for faces, vnormals in (
-        (fld.wall_faces, fld.wall_vnormals),
-        (fld.sym_faces, fld.sym_vnormals),
-        (fld.far_faces, fld.far_vnormals),
-    ):
-        if faces.shape[0] == 0:
+    lam_sum = fld.edge_sum_plan.apply(lam_e)
+    for which in ("wall", "sym", "far"):
+        verts, vnormals3, cplan = fld.corner_scatter(which)
+        if verts.shape[0] == 0:
             continue
-        for c in range(3):
-            verts = faces[:, c]
-            lam_b = euler_spectral_radius(q[verts], q[verts], vnormals, g)
-            np.add.at(lam_sum, verts, lam_b)
+        lam_b = euler_spectral_radius(q[verts], q[verts], vnormals3, g)
+        cplan.apply(lam_b, out=lam_sum, accumulate=True)
     return cfl * fld.volumes / np.maximum(lam_sum, 1e-30)
 
 
@@ -252,6 +241,21 @@ class CompressibleJacobian:
         )
         self._ij = np.searchsorted(keys, fld.e0 * np.int64(nv) + fld.e1)
         self._ji = np.searchsorted(keys, fld.e1 * np.int64(nv) + fld.e0)
+        nnzb = self.cols.shape[0]
+        self._edge_plan = jacobian_edge_plan(
+            self._diag[fld.e0],
+            self._ij,
+            self._diag[fld.e1],
+            self._ji,
+            nnzb,
+            name="jacobian.edge",
+        )
+        self._bc_plans = {
+            which: scatter_plan(self._diag[verts], nnzb, name="jacobian.bc")
+            for which, (verts, _, _) in (
+                (w, fld.corner_scatter(w)) for w in ("wall", "sym", "far")
+            )
+        }
 
     def new_matrix(self) -> BCSRMatrix:
         return BCSRMatrix.from_pattern(self.rowptr, self.cols, NVARS_C)
@@ -275,44 +279,38 @@ class CompressibleJacobian:
         lamI = lam[:, None, None] * np.eye(NVARS_C)
         dFdqi = 0.5 * Ai + 0.5 * lamI
         dFdqj = 0.5 * Aj - 0.5 * lamI
-        np.add.at(vals, self._diag[fld.e0], dFdqi)
-        np.add.at(vals, self._ij, dFdqj)
-        np.add.at(vals, self._diag[fld.e1], -dFdqj)
-        np.add.at(vals, self._ji, -dFdqi)
+        self._edge_plan.apply(
+            np.concatenate([dFdqi, dFdqj]), out=vals, accumulate=True
+        )
 
         # slip wall / symmetry: d(S p)/dq rows
         gm1 = g - 1.0
-        for faces, vnormals in (
-            (fld.wall_faces, fld.wall_vnormals),
-            (fld.sym_faces, fld.sym_vnormals),
-        ):
-            if faces.shape[0] == 0:
+        for which in ("wall", "sym"):
+            verts, vnormals3, _ = fld.corner_scatter(which)
+            if verts.shape[0] == 0:
                 continue
-            for c in range(3):
-                verts = faces[:, c]
-                qi = q[verts]
-                vel = qi[:, 1:4] / qi[:, 0:1]
-                v2 = np.einsum("ni,ni->n", vel, vel)
-                blk = np.zeros((verts.shape[0], NVARS_C, NVARS_C))
-                # dp/drho, dp/dm_j, dp/dE
-                blk[:, 1:4, 0] = vnormals * (0.5 * gm1 * v2)[:, None]
-                blk[:, 1:4, 1:4] = -gm1 * np.einsum(
-                    "ni,nj->nij", vnormals, vel
-                )
-                blk[:, 1:4, 4] = gm1 * vnormals
-                np.add.at(vals, self._diag[verts], blk)
+            qi = q[verts]
+            vel = qi[:, 1:4] / qi[:, 0:1]
+            v2 = np.einsum("ni,ni->n", vel, vel)
+            blk = np.zeros((verts.shape[0], NVARS_C, NVARS_C))
+            # dp/drho, dp/dm_j, dp/dE
+            blk[:, 1:4, 0] = vnormals3 * (0.5 * gm1 * v2)[:, None]
+            blk[:, 1:4, 1:4] = -gm1 * np.einsum(
+                "ni,nj->nij", vnormals3, vel
+            )
+            blk[:, 1:4, 4] = gm1 * vnormals3
+            self._bc_plans[which].apply(blk, out=vals, accumulate=True)
 
-        if fld.far_faces.shape[0]:
+        verts, vnormals3, _ = fld.corner_scatter("far")
+        if verts.shape[0]:
             q_inf = compressible_freestream(config)
-            for c in range(3):
-                verts = fld.far_faces[:, c]
-                qi = q[verts]
-                Af = euler_flux_jacobian(qi, fld.far_vnormals, g)
-                lam_f = euler_spectral_radius(
-                    qi, np.broadcast_to(q_inf, qi.shape), fld.far_vnormals, g
-                )
-                blk = 0.5 * Af + 0.5 * lam_f[:, None, None] * np.eye(NVARS_C)
-                np.add.at(vals, self._diag[verts], blk)
+            qi = q[verts]
+            Af = euler_flux_jacobian(qi, vnormals3, g)
+            lam_f = euler_spectral_radius(
+                qi, np.broadcast_to(q_inf, qi.shape), vnormals3, g
+            )
+            blk = 0.5 * Af + 0.5 * lam_f[:, None, None] * np.eye(NVARS_C)
+            self._bc_plans["far"].apply(blk, out=vals, accumulate=True)
         return A
 
     def add_pseudo_time(self, A: BCSRMatrix, dt: np.ndarray) -> None:

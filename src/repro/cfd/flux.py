@@ -98,7 +98,10 @@ def scatter_edge_flux(
     """Accumulate per-edge fluxes into the vertex residual (write-out phase).
 
     Flux leaves control volume ``e0`` (normal points e0 -> e1) and enters
-    ``e1``.
+    ``e1``.  This is the reference ``np.add.at`` statement sequence; the
+    hot path (:func:`interior_flux_residual`) runs the same scatter through
+    the field's precompiled :class:`~repro.perf.scatter.ScatterPlan`,
+    which is bitwise-identical and several times faster.
     """
     res = np.zeros((n_vertices, flux.shape[-1]))
     np.add.at(res, e0, flux)
@@ -141,4 +144,4 @@ def interior_flux_residual(
         ql = ql + dq0
         qr = qr + dq1
     flux = numerical_edge_flux(ql, qr, field.enormals, beta, scheme)
-    return scatter_edge_flux(flux, field.e0, field.e1, field.n_vertices)
+    return field.edge_diff_plan.apply(flux)

@@ -42,9 +42,7 @@ def lsq_gradients(field: FlowField, q: np.ndarray) -> np.ndarray:
     dx = field.emid_d0 * 2.0  # x[e1] - x[e0]
     dq = q[field.e1] - q[field.e0]  # (ne, 4)
     rhs_contrib = dq[:, :, None] * dx[:, None, :]  # (ne, 4, 3)
-    rhs = np.zeros((field.n_vertices, q.shape[1], 3))
-    np.add.at(rhs, field.e0, rhs_contrib)
-    np.add.at(rhs, field.e1, rhs_contrib)
+    rhs = field.edge_sum_plan.apply(rhs_contrib)
     return np.einsum("nij,nvj->nvi", field.lsq_inv, rhs)
 
 
@@ -61,18 +59,14 @@ def weighted_lsq_gradients(field: FlowField, q: np.ndarray) -> np.ndarray:
     dx = field.emid_d0 * 2.0
     w = 1.0 / np.maximum(np.linalg.norm(dx, axis=1), 1e-300)
     outer = np.einsum("n,ni,nj->nij", w, dx, dx)
-    m = np.zeros((field.n_vertices, 3, 3))
-    np.add.at(m, field.e0, outer)
-    np.add.at(m, field.e1, outer)
+    m = field.edge_sum_plan.apply(outer)
     tr = np.trace(m, axis1=1, axis2=2)
     m += (1e-12 * np.maximum(tr, 1e-30))[:, None, None] * np.eye(3)
     minv = np.linalg.inv(m)
 
     dq = q[field.e1] - q[field.e0]
     rhs_contrib = w[:, None, None] * dq[:, :, None] * dx[:, None, :]
-    rhs = np.zeros((field.n_vertices, q.shape[1], 3))
-    np.add.at(rhs, field.e0, rhs_contrib)
-    np.add.at(rhs, field.e1, rhs_contrib)
+    rhs = field.edge_sum_plan.apply(rhs_contrib)
     return np.einsum("nij,nvj->nvi", minv, rhs)
 
 
@@ -86,24 +80,25 @@ def green_gauss_gradients(field: FlowField, q: np.ndarray) -> np.ndarray:
     reconstruction kernel is least squares.  Provided for diagnostics and
     cross-checks.
     """
-    nv, nvar = q.shape
-    acc = np.zeros((nv, nvar, 3))
     mid = 0.5 * (q[field.e0] + q[field.e1])  # (ne, nvar)
     contrib = mid[:, :, None] * field.enormals[:, None, :]
-    np.add.at(acc, field.e0, contrib)
-    np.subtract.at(acc, field.e1, contrib)
-    for faces, vnormals in (
-        (field.wall_faces, field.wall_vnormals),
-        (field.sym_faces, field.sym_vnormals),
-        (field.far_faces, field.far_vnormals),
-    ):
-        if faces.shape[0] == 0:
+    acc = field.edge_diff_plan.apply(contrib)
+    for which in ("wall", "sym", "far"):
+        verts, vnormals3, cplan = field.corner_scatter(which)
+        if verts.shape[0] == 0:
             continue
+        faces = {
+            "wall": field.wall_faces,
+            "sym": field.sym_faces,
+            "far": field.far_faces,
+        }[which]
         fc = q[faces].mean(axis=1)  # (nf, nvar)
-        for c in range(3):
-            np.add.at(
-                acc, faces[:, c], fc[:, :, None] * vnormals[:, None, :]
-            )
+        fc3 = np.concatenate([fc] * 3, axis=0)  # per corner, c-major
+        cplan.apply(
+            fc3[:, :, None] * vnormals3[:, None, :],
+            out=acc,
+            accumulate=True,
+        )
     return acc / field.volumes[:, None, None]
 
 

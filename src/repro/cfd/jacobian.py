@@ -15,6 +15,12 @@ from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
+from ..perf.scatter import (
+    ScatterTerm,
+    build_scatter_plan,
+    jacobian_edge_plan,
+    scatter_plan,
+)
 from ..sparse.bcsr import BCSRMatrix, bcsr_pattern_from_edges
 from .flux import edge_spectral_radius
 from .state import NVARS, FlowConfig, FlowField, freestream_state
@@ -72,6 +78,25 @@ class JacobianAssembler:
         )
         self._idx_ij = np.searchsorted(keys, f.e0 * np.int64(nv) + f.e1)
         self._idx_ji = np.searchsorted(keys, f.e1 * np.int64(nv) + f.e0)
+        nnzb = self.cols.shape[0]
+        self._edge_plan = jacobian_edge_plan(
+            self._diag_idx[f.e0],
+            self._idx_ij,
+            self._diag_idx[f.e1],
+            self._idx_ji,
+            nnzb,
+            name="jacobian.edge",
+        )
+        # boundary corners land on diagonal blocks, one value per corner
+        self._bc_plans = {
+            which: scatter_plan(
+                self._diag_idx[verts], nnzb, name="jacobian.bc"
+            )
+            for which, (verts, _, _) in (
+                (w, f.corner_scatter(w)) for w in ("wall", "sym", "far")
+            )
+        }
+        self._visc_plan = None
 
     def new_matrix(self) -> BCSRMatrix:
         return BCSRMatrix.from_pattern(self.rowptr, self.cols, NVARS)
@@ -102,37 +127,34 @@ class JacobianAssembler:
         # dF/dq_i and dF/dq_j of F = 0.5 (F_i + F_j) - 0.5 lam (q_j - q_i)
         dFdqi = 0.5 * Ai + 0.5 * lamI
         dFdqj = 0.5 * Aj - 0.5 * lamI
-        # residual of e0 gains +F; residual of e1 gains -F
-        np.add.at(vals, self._diag_idx[f.e0], dFdqi)
-        np.add.at(vals, self._idx_ij, dFdqj)
-        np.add.at(vals, self._diag_idx[f.e1], -dFdqj)
-        np.add.at(vals, self._idx_ji, -dFdqi)
+        # residual of e0 gains +F; residual of e1 gains -F: all four edge
+        # statements execute as one precompiled scatter over vals
+        self._edge_plan.apply(
+            np.concatenate([dFdqi, dFdqj]), out=vals, accumulate=True
+        )
 
-        # slip wall / symmetry: dF/dq has only the pressure column
-        for faces, vnormals in (
-            (f.wall_faces, f.wall_vnormals),
-            (f.sym_faces, f.sym_vnormals),
-        ):
-            if faces.shape[0] == 0:
+        # slip wall / symmetry: dF/dq has only the pressure column (the
+        # same block for each of a face's three corners)
+        for which in ("wall", "sym"):
+            verts, vnormals3, _ = f.corner_scatter(which)
+            if verts.shape[0] == 0:
                 continue
-            blk = np.zeros((faces.shape[0], NVARS, NVARS))
-            blk[:, 1:4, 0] = vnormals
-            for c in range(3):
-                np.add.at(vals, self._diag_idx[faces[:, c]], blk)
+            blk = np.zeros((verts.shape[0], NVARS, NVARS))
+            blk[:, 1:4, 0] = vnormals3
+            self._bc_plans[which].apply(blk, out=vals, accumulate=True)
 
         # far field: 0.5 A(q_i) + 0.5 lam I (freestream side has no
         # dependence on the unknowns)
-        if f.far_faces.shape[0]:
+        verts, vnormals3, _ = f.corner_scatter("far")
+        if verts.shape[0]:
             q_inf = freestream_state(config)
-            for c in range(3):
-                verts = f.far_faces[:, c]
-                qi = q[verts]
-                Af = analytic_flux_jacobian(qi, f.far_vnormals, beta)
-                lam_f = edge_spectral_radius(
-                    qi, np.broadcast_to(q_inf, qi.shape), f.far_vnormals, beta
-                )
-                blk = 0.5 * Af + 0.5 * lam_f[:, None, None] * np.eye(NVARS)
-                np.add.at(vals, self._diag_idx[verts], blk)
+            qi = q[verts]
+            Af = analytic_flux_jacobian(qi, vnormals3, beta)
+            lam_f = edge_spectral_radius(
+                qi, np.broadcast_to(q_inf, qi.shape), vnormals3, beta
+            )
+            blk = 0.5 * Af + 0.5 * lam_f[:, None, None] * np.eye(NVARS)
+            self._bc_plans["far"].apply(blk, out=vals, accumulate=True)
 
         if config.mu > 0.0:
             from .viscous import viscous_jacobian_blocks
@@ -140,10 +162,22 @@ class JacobianAssembler:
             d_diag, d_off = viscous_jacobian_blocks(
                 f, config.mu, f.visc_coeffs
             )
-            np.add.at(vals, self._diag_idx[f.e0], d_diag)
-            np.add.at(vals, self._diag_idx[f.e1], d_diag)
-            np.add.at(vals, self._idx_ij, d_off)
-            np.add.at(vals, self._idx_ji, d_off)
+            if self._visc_plan is None:
+                ne = f.e0.shape[0]
+                self._visc_plan = build_scatter_plan(
+                    [
+                        ScatterTerm(self._diag_idx[f.e0], 0, 1.0),
+                        ScatterTerm(self._diag_idx[f.e1], 0, 1.0),
+                        ScatterTerm(self._idx_ij, ne, 1.0),
+                        ScatterTerm(self._idx_ji, ne, 1.0),
+                    ],
+                    self.cols.shape[0],
+                    n_sources=2 * ne,
+                    name="jacobian.visc",
+                )
+            self._visc_plan.apply(
+                np.concatenate([d_diag, d_off]), out=vals, accumulate=True
+            )
 
         return A
 

@@ -73,6 +73,8 @@ class FlowField:
     sym_vnormals: np.ndarray = field(init=False)
     lsq_inv: np.ndarray = field(init=False)  # per-vertex 3x3 LSQ pseudo-inv
     _visc_coeffs: np.ndarray | None = field(default=None, repr=False)
+    #: precompiled gather-scatter plans, keyed by kernel (built on first use)
+    _plans: dict = field(init=False, default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         mesh = self.mesh
@@ -101,17 +103,76 @@ class FlowField:
         ``(sum dx dx^T) g = sum dx dq``.  The 3x3 normal matrices are
         assembled edge-based and inverted in one batched call.
         """
-        nv = self.mesh.n_vertices
         dx = self.mesh.coords[self.e1] - self.mesh.coords[self.e0]
         outer = np.einsum("ni,nj->nij", dx, dx)
-        m = np.zeros((nv, 3, 3))
-        np.add.at(m, self.e0, outer)
-        np.add.at(m, self.e1, outer)
+        m = self.edge_sum_plan.apply(outer)
         # Boundary vertices with nearly-planar neighborhoods can still be
         # full rank in 3D tet meshes; regularize defensively anyway.
         tr = np.trace(m, axis1=1, axis2=2)
         m += (1e-12 * np.maximum(tr, 1e-30))[:, None, None] * np.eye(3)
         return np.linalg.inv(m)
+
+    # ------------------------------------------------------------------
+    # Precompiled scatter plans (repro.perf.scatter): compiled on first
+    # use per field and reused by every kernel evaluation thereafter.
+    # ------------------------------------------------------------------
+    def plan(self, key: str, builder):
+        """Cached :class:`~repro.perf.scatter.ScatterPlan` for ``key``."""
+        p = self._plans.get(key)
+        if p is None:
+            p = self._plans[key] = builder()
+        return p
+
+    @property
+    def edge_diff_plan(self):
+        """``out[e0] += x; out[e1] -= x`` (flux write-out)."""
+        from ..perf.scatter import edge_difference_plan
+
+        return self.plan(
+            "edge.diff",
+            lambda: edge_difference_plan(
+                self.e0, self.e1, self.n_vertices, name="flux.edge"
+            ),
+        )
+
+    @property
+    def edge_sum_plan(self):
+        """``out[e0] += x; out[e1] += x`` (gradient / wave-speed sums)."""
+        from ..perf.scatter import edge_sum_plan
+
+        return self.plan(
+            "edge.sum",
+            lambda: edge_sum_plan(
+                self.e0, self.e1, self.n_vertices, name="grad.edge"
+            ),
+        )
+
+    def corner_scatter(self, which: str):
+        """Flattened boundary corners of tag ``which``: the per-corner
+        vertex ids, their replicated face normals, and the scatter plan
+        accumulating one value per corner — all three in the serial
+        kernels' column-major corner order (all first corners, then all
+        second, then all third)."""
+        key = f"corner.{which}"
+        cached = self._plans.get(key)
+        if cached is None:
+            from ..perf.scatter import scatter_plan
+
+            faces, vnormals = {
+                "wall": (self.wall_faces, self.wall_vnormals),
+                "sym": (self.sym_faces, self.sym_vnormals),
+                "far": (self.far_faces, self.far_vnormals),
+            }[which]
+            verts = np.ascontiguousarray(faces.T.reshape(-1))
+            normals = np.concatenate([vnormals] * 3, axis=0)
+            cached = self._plans[key] = (
+                verts,
+                normals,
+                scatter_plan(
+                    verts, self.n_vertices, name=f"boundary.{which}"
+                ),
+            )
+        return cached
 
     @property
     def n_vertices(self) -> int:

@@ -26,26 +26,17 @@ def local_timestep(
     (interior edges seen from both endpoints, plus boundary faces).
     """
     beta = config.beta
-    lam_sum = np.zeros(field.n_vertices)
     lam_e = edge_spectral_radius(
         q[field.e0], q[field.e1], field.enormals, beta
     )
-    np.add.at(lam_sum, field.e0, lam_e)
-    np.add.at(lam_sum, field.e1, lam_e)
+    lam_sum = field.edge_sum_plan.apply(lam_e)
 
-    for faces, vnormals in (
-        (field.wall_faces, field.wall_vnormals),
-        (field.sym_faces, field.sym_vnormals),
-        (field.far_faces, field.far_vnormals),
-    ):
-        if faces.shape[0] == 0:
+    for which in ("wall", "sym", "far"):
+        verts, vnormals3, cplan = field.corner_scatter(which)
+        if verts.shape[0] == 0:
             continue
-        for c in range(3):
-            verts = faces[:, c]
-            lam_b = edge_spectral_radius(
-                q[verts], q[verts], vnormals, beta
-            )
-            np.add.at(lam_sum, verts, lam_b)
+        lam_b = edge_spectral_radius(q[verts], q[verts], vnormals3, beta)
+        cplan.apply(lam_b, out=lam_sum, accumulate=True)
 
     lam_sum = np.maximum(lam_sum, 1e-30)
     return cfl * field.volumes / lam_sum

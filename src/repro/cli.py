@@ -54,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default="mesh-c")
         sp.add_argument("--scale", type=float, default=0.12)
         sp.add_argument("--seed", type=int, default=7)
+        sp.add_argument(
+            "--ordering", choices=["natural", "rcm"], default="natural",
+            help="vertex numbering: generator order or RCM relabeling "
+                 "(paper Section V.A locality pass; makes the scatter "
+                 "plans' CSR walks near-monotone in memory)"
+        )
 
     def add_obs_args(sp):
         sp.add_argument("--trace-out", metavar="PATH",
@@ -168,6 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="'process' switches the sweep to process-parallel ILU/TRSV "
              "(levels vs p2p synchronization) -> BENCH_trsv_scaling.json"
     )
+    sp.add_argument(
+        "--kernel", choices=["flux", "trsv", "scatter"], default="flux",
+        help="'scatter' benches the precompiled gather-scatter plans "
+             "against the np.add.at reference across mesh sizes -> "
+             "BENCH_scatter_kernels.json; 'trsv' is an alias for "
+             "--sparse-backend process"
+    )
+    sp.add_argument(
+        "--engine", choices=["csr", "bincount", "addat"], default=None,
+        help="force a scatter engine for --kernel scatter (default: auto)"
+    )
     sp.add_argument("--ilu", type=int, default=0,
                     help="ILU fill level of the TRSV sweep")
     sp.add_argument("--out", default="BENCH_flux_scaling.json",
@@ -192,20 +209,27 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def _make_mesh(args):
+def _make_mesh(args, scale: float | None = None):
     from .mesh import mesh_c_prime, mesh_d_prime, wing_mesh
 
+    scale = args.scale if scale is None else scale
     if args.dataset == "mesh-c":
-        return mesh_c_prime(scale=args.scale, seed=args.seed)
-    if args.dataset == "mesh-d":
-        return mesh_d_prime(scale=args.scale, seed=args.seed)
-    f = max(0.2, float(args.scale) ** (1.0 / 3.0))
-    return wing_mesh(
-        n_around=max(12, int(48 * f)),
-        n_radial=max(5, int(16 * f)),
-        n_span=max(4, int(12 * f)),
-        seed=args.seed,
-    )
+        mesh = mesh_c_prime(scale=scale, seed=args.seed)
+    elif args.dataset == "mesh-d":
+        mesh = mesh_d_prime(scale=scale, seed=args.seed)
+    else:
+        f = max(0.2, float(scale) ** (1.0 / 3.0))
+        mesh = wing_mesh(
+            n_around=max(12, int(48 * f)),
+            n_radial=max(5, int(16 * f)),
+            n_span=max(4, int(12 * f)),
+            seed=args.seed,
+        )
+    if getattr(args, "ordering", "natural") == "rcm":
+        from .ordering import rcm_relabel
+
+        mesh = rcm_relabel(mesh)
+    return mesh
 
 
 def cmd_mesh_info(args) -> int:
@@ -424,6 +448,11 @@ def cmd_profile(args) -> int:
     print()
     print(res.metrics.report())
     print()
+    from .perf.scatter import plan_report
+
+    print("per-kernel scatter strategy (precompiled plans vs np.add.at):")
+    print(plan_report())
+    print()
     _print_recurrence_structure(app, args.ilu)
     print()
     if getattr(res, "dist", None) is not None:
@@ -584,6 +613,80 @@ def _print_trsv_table(args, mesh, doc, repeats) -> None:
     print(f"wrote {args.out}")
 
 
+def _bench_scatter(args, repeats) -> int:
+    """Scatter-plan branch of ``bench``: precompiled plans vs np.add.at."""
+    from .perf import format_table
+    from .smp.bench import (
+        append_history,
+        load_history,
+        rolling_scatter_gate_failures,
+        run_scatter_kernels,
+        scatter_gate_failures,
+        write_bench_json,
+    )
+
+    if args.out == "BENCH_flux_scaling.json":  # only the untouched default
+        args.out = "BENCH_scatter_kernels.json"
+    # ascending mesh sizes so the largest (last) carries the gate reference
+    fractions = (1.0,) if args.quick else (0.25, 0.5, 1.0)
+    meshes = [_make_mesh(args, scale=args.scale * f) for f in fractions]
+    doc = run_scatter_kernels(
+        meshes,
+        repeats=repeats,
+        seed=args.seed,
+        dataset=args.dataset,
+        scale=args.scale,
+        engine=args.engine,
+    )
+    write_bench_json(doc, args.out)
+    rows = [
+        [
+            r["strategy"], str(r["mesh_vertices"]), str(r["mesh_edges"]),
+            r["engine"], str(r["entries"]),
+            f"{1e3 * r['addat_seconds']:.2f}",
+            f"{1e3 * r['wall_seconds']:.2f}",
+            f"{r['speedup']:.2f}x",
+            f"{r['max_abs_dev']:.1e}",
+        ]
+        for r in doc["results"]
+    ]
+    print(format_table(
+        ["kernel", "vertices", "edges", "engine", "entries", "add.at ms",
+         "plan ms", "speedup", "max dev"],
+        rows,
+        title=f"scatter-plan kernels vs np.add.at reference "
+              f"({args.dataset}, ordering={args.ordering}, "
+              f"best of {repeats})",
+    ))
+    print(f"wrote {args.out}")
+    history = load_history(args.history) if args.history else []
+    if args.gate:
+        if args.history:
+            failures = rolling_scatter_gate_failures(
+                doc, history, max_regression=args.gate_slowdown,
+            )
+            gate_kind = (
+                "rolling-median trend" if history else
+                "fixed slowdown (no comparable history yet)"
+            )
+        else:
+            failures = scatter_gate_failures(
+                doc, max_slowdown=args.gate_slowdown
+            )
+            gate_kind = "fixed slowdown"
+        for msg in failures:
+            print(f"GATE FAIL: {msg}")
+        if failures:
+            return 1
+        print(f"GATE OK: bitwise add.at equivalence + plan performance "
+              f"({gate_kind})")
+    if args.history:
+        append_history(doc, args.history)
+        print(f"appended trend record to {args.history} "
+              f"({len(history) + 1} total)")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .perf import format_table
     from .smp.bench import (
@@ -610,8 +713,11 @@ def cmd_bench(args) -> int:
             worker_list.append(args.workers)
         repeats = args.repeats
 
+    if args.kernel == "scatter":
+        return _bench_scatter(args, repeats)
+
     mesh = _make_mesh(args)
-    if args.sparse_backend == "process":
+    if args.sparse_backend == "process" or args.kernel == "trsv":
         if args.out == "BENCH_flux_scaling.json":  # only the untouched default
             args.out = "BENCH_trsv_scaling.json"
         doc = _bench_trsv(args, mesh, worker_list, repeats)

@@ -37,6 +37,12 @@ from ...cfd.flux import edge_spectral_radius, numerical_edge_flux
 from ...cfd.jacobian import analytic_flux_jacobian
 from ...cfd.state import NVARS, FlowConfig, freestream_state
 from ...cfd.timestep import ser_cfl
+from ...perf.scatter import (
+    edge_difference_plan,
+    edge_sum_plan,
+    jacobian_edge_plan,
+    scatter_plan,
+)
 from ...solver.newton import SolverOptions
 from ...sparse.bcsr import BCSRMatrix, bcsr_pattern_from_edges
 from ...sparse.ilu import build_ilu_plan, ilu_factorize
@@ -167,7 +173,12 @@ def build_rank_data(
 
 
 class _Workspace:
-    """Persistent per-rank arrays reused across residual evaluations."""
+    """Persistent per-rank arrays reused across residual evaluations.
+
+    Also owns the rank's compiled scatter plans (one per static edge-slice /
+    boundary-tag index structure), so every residual evaluation runs the
+    precompiled segment reduction instead of ``np.add.at``.
+    """
 
     def __init__(self, data: RankData) -> None:
         nl, no = data.n_local, data.n_owned
@@ -178,6 +189,37 @@ class _Workspace:
         self.res = np.zeros((nl, NVARS))
         self.q[:no] = data.q0
         self.interior_seconds = 0.0
+        self._data = data
+        self._plans: dict = {}
+
+    def edge_plan(self, sl: slice, kind: str):
+        """Cached edge scatter plan of the edges in ``sl`` over local rows.
+
+        ``kind`` is ``"diff"`` (flux: +e0 / -e1) or ``"sum"`` (gradient and
+        spectral-radius accumulation: +e0 / +e1).
+        """
+        key = (kind, sl.start, sl.stop)
+        plan = self._plans.get(key)
+        if plan is None:
+            d = self._data
+            build = edge_difference_plan if kind == "diff" else edge_sum_plan
+            plan = build(
+                d.e0[sl], d.e1[sl], d.n_local, name=f"dist.edge.{kind}"
+            )
+            self._plans[key] = plan
+        return plan
+
+    def boundary_plan(self, tag: str):
+        """Cached per-corner scatter plan of one boundary tag."""
+        key = ("bnd", tag)
+        plan = self._plans.get(key)
+        if plan is None:
+            verts, _ = self._data.bcorners[tag]
+            plan = scatter_plan(
+                verts, self._data.n_local, name="dist.boundary"
+            )
+            self._plans[key] = plan
+        return plan
 
 
 def _interior_span(comm: Communicator, ws: _Workspace, t0: float, edges: int):
@@ -227,7 +269,7 @@ def _boundary_residual(
             continue
         contrib = np.zeros((verts.shape[0], NVARS))
         contrib[:, 1:4] = normals * q[verts, 0:1]
-        np.add.at(res, verts, contrib)
+        ws.boundary_plan(tag).apply(contrib, out=res, accumulate=True)
     verts, normals = data.bcorners["far"]
     if verts.shape[0]:
         qi = q[verts]
@@ -235,7 +277,7 @@ def _boundary_residual(
         fl = numerical_edge_flux(
             qi, qe, normals, config.beta, config.dissipation
         )
-        np.add.at(res, verts, fl)
+        ws.boundary_plan("far").apply(fl, out=res, accumulate=True)
 
 
 def _edge_flux(
@@ -259,8 +301,7 @@ def _edge_flux(
     flux = numerical_edge_flux(
         ql, qr, data.normals[sl], config.beta, config.dissipation
     )
-    np.add.at(ws.res, e0, flux)
-    np.subtract.at(ws.res, e1, flux)
+    ws.edge_plan(sl, "diff").apply(flux, out=ws.res, accumulate=True)
 
 
 def rank_residual(
@@ -302,8 +343,7 @@ def rank_residual(
         dx = data.d0[sl] * 2.0  # x[e1] - x[e0]
         dq = ws.q[e1] - ws.q[e0]
         contrib = dq[:, :, None] * dx[:, None, :]
-        np.add.at(ws.rhs, e0, contrib)
-        np.add.at(ws.rhs, e1, contrib)
+        ws.edge_plan(sl, "sum").apply(contrib, out=ws.rhs, accumulate=True)
 
     # ---- window 1: state exchange || interior gradient accumulation ----
     if second_order:
@@ -338,18 +378,16 @@ def _local_timestep(
     """Owned-vertex pseudo time steps (serial formula; ghosts are fresh
     because this runs right after a residual evaluation on the same q)."""
     q = ws.q
-    lam_sum = np.zeros(data.n_local)
     lam_e = edge_spectral_radius(
         q[data.e0], q[data.e1], data.normals, config.beta
     )
-    np.add.at(lam_sum, data.e0, lam_e)
-    np.add.at(lam_sum, data.e1, lam_e)
+    lam_sum = ws.edge_plan(slice(0, data.e0.shape[0]), "sum").apply(lam_e)
     for tag in ("wall", "sym", "far"):
         verts, normals = data.bcorners[tag]
         if verts.shape[0] == 0:
             continue
         lam_b = edge_spectral_radius(q[verts], q[verts], normals, config.beta)
-        np.add.at(lam_sum, verts, lam_b)
+        ws.boundary_plan(tag).apply(lam_b, out=lam_sum, accumulate=True)
     lam = np.maximum(lam_sum[: data.n_owned], 1e-30)
     return cfl * data.volumes / lam
 
@@ -382,6 +420,34 @@ class _RankJacobian:
         )
         self._cut_sel0 = np.where(data.cut_e0 < no)[0]
         self._cut_sel1 = np.where(data.cut_e1 < no)[0]
+        nnzb = self.cols.shape[0]
+        self._edge_plan = jacobian_edge_plan(
+            self._diag_idx[data.int_e0],
+            self._idx_ij,
+            self._diag_idx[data.int_e1],
+            self._idx_ji,
+            nnzb,
+            name="jacobian.edge",
+        )
+        self._cut_plan0 = scatter_plan(
+            self._diag_idx[data.cut_e0[self._cut_sel0]],
+            nnzb,
+            name="jacobian.cut",
+        )
+        self._cut_plan1 = scatter_plan(
+            self._diag_idx[data.cut_e1[self._cut_sel1]],
+            nnzb,
+            sign=-1.0,
+            name="jacobian.cut",
+        )
+        self._bc_plans = {
+            tag: scatter_plan(
+                self._diag_idx[data.bcorners[tag][0]],
+                nnzb,
+                name="jacobian.bc",
+            )
+            for tag in ("wall", "sym", "far")
+        }
         self.matrix = BCSRMatrix.from_pattern(self.rowptr, self.cols, NVARS)
         self.plan = build_ilu_plan(
             self.rowptr, self.cols, b=NVARS, fill_level=fill_level
@@ -406,10 +472,9 @@ class _RankJacobian:
         lamI = edge_spectral_radius(ql, qr, normals, beta)[:, None, None] * eye
         dFdqi = 0.5 * Ai + 0.5 * lamI
         dFdqj = 0.5 * Aj - 0.5 * lamI
-        np.add.at(vals, self._diag_idx[data.int_e0], dFdqi)
-        np.add.at(vals, self._idx_ij, dFdqj)
-        np.add.at(vals, self._diag_idx[data.int_e1], -dFdqj)
-        np.add.at(vals, self._idx_ji, -dFdqi)
+        self._edge_plan.apply(
+            np.concatenate([dFdqi, dFdqj]), out=vals, accumulate=True
+        )
 
         # cut edges: the owned endpoint's diagonal block only (the off-rank
         # coupling is what block-Jacobi drops)
@@ -425,8 +490,8 @@ class _RankJacobian:
             dFdqi = 0.5 * Ai + 0.5 * lamI
             dFdqj = 0.5 * Aj - 0.5 * lamI
             s0, s1 = self._cut_sel0, self._cut_sel1
-            np.add.at(vals, self._diag_idx[data.cut_e0[s0]], dFdqi[s0])
-            np.add.at(vals, self._diag_idx[data.cut_e1[s1]], -dFdqj[s1])
+            self._cut_plan0.apply(dFdqi[s0], out=vals, accumulate=True)
+            self._cut_plan1.apply(dFdqj[s1], out=vals, accumulate=True)
 
         for tag in ("wall", "sym"):
             verts, normals = data.bcorners[tag]
@@ -434,7 +499,7 @@ class _RankJacobian:
                 continue
             blk = np.zeros((verts.shape[0], NVARS, NVARS))
             blk[:, 1:4, 0] = normals
-            np.add.at(vals, self._diag_idx[verts], blk)
+            self._bc_plans[tag].apply(blk, out=vals, accumulate=True)
 
         verts, normals = data.bcorners["far"]
         if verts.shape[0]:
@@ -445,7 +510,7 @@ class _RankJacobian:
                 qi, np.broadcast_to(q_inf, qi.shape), normals, beta
             )
             blk = 0.5 * Af + 0.5 * lam_f[:, None, None] * eye
-            np.add.at(vals, self._diag_idx[verts], blk)
+            self._bc_plans["far"].apply(blk, out=vals, accumulate=True)
 
         vals[self._diag_idx] += (data.volumes / dt)[:, None, None] * eye
         self._factor = ilu_factorize(self.matrix, self.plan)

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..perf.scatter import scatter_add
+
 __all__ = [
     "UnstructuredMesh",
     "TET_EDGES_EVEN",
@@ -101,7 +103,7 @@ def build_vertex_adjacency(
     order = np.lexsort((dst, src))
     src, dst = src[order], dst[order]
     rowptr = np.zeros(n_vertices + 1, dtype=np.int64)
-    np.add.at(rowptr, src + 1, 1)
+    rowptr[1:] = np.bincount(src, minlength=n_vertices)
     np.cumsum(rowptr, out=rowptr)
     return rowptr, dst
 
@@ -244,8 +246,9 @@ class UnstructuredMesh:
         if np.any(vols <= 0.0):
             bad = int(np.sum(vols <= 0.0))
             raise ValueError(f"{bad} tetrahedra are inverted or degenerate")
-        volumes = np.zeros(nv)
-        np.add.at(volumes, tets, vols[:, None] / 4.0)
+        volumes = scatter_add(
+            tets.reshape(-1), np.repeat(vols / 4.0, 4), nv
+        )
 
         # Dual-face area vectors, accumulated per unique edge.  For each tet
         # and each of its six (i, j, k, l) even-parity edges:
@@ -253,7 +256,6 @@ class UnstructuredMesh:
         # points i -> j.  We accumulate into the canonical (lo, hi) edge with
         # a sign flip when i > j.
         g_tet = coords[tets].mean(axis=1)  # (nt, 3)
-        edge_normals = np.zeros((edges.shape[0], 3))
 
         vi = tets[:, TET_EDGES_EVEN[:, 0]]  # (nt, 6)
         vj = tets[:, TET_EDGES_EVEN[:, 1]]
@@ -274,7 +276,7 @@ class UnstructuredMesh:
         keys = lo * np.int64(nv) + hi
         edge_keys = edges[:, 0] * np.int64(nv) + edges[:, 1]
         idx = np.searchsorted(edge_keys, keys)
-        np.add.at(edge_normals, idx, s.reshape(-1, 3))
+        edge_normals = scatter_add(idx, s.reshape(-1, 3), edges.shape[0])
 
         # Boundary triangles: outward area vector and the third belonging to
         # each vertex's control-volume surface (the median dual splits a

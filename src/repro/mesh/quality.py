@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf.scatter import ScatterTerm, build_scatter_plan
 from .core import UnstructuredMesh, tet_volumes
 
 __all__ = ["MeshReport", "validate_mesh", "closure_residual"]
@@ -49,13 +50,18 @@ def closure_residual(mesh: UnstructuredMesh) -> np.ndarray:
     the face areas.
     """
     m = mesh.metrics
-    res = np.zeros((mesh.n_vertices, 3))
-    np.add.at(res, mesh.edges[:, 0], m.edge_normals)
-    np.subtract.at(res, mesh.edges[:, 1], m.edge_normals)
+    ne = mesh.n_edges
+    terms = [
+        ScatterTerm(mesh.edges[:, 0], 0, 1.0),
+        ScatterTerm(mesh.edges[:, 1], 0, -1.0),
+    ]
+    values = [m.edge_normals]
     if mesh.n_bfaces:
         for c in range(3):
-            np.add.at(res, mesh.bfaces[:, c], m.bvertex_normals)
-    return res
+            terms.append(ScatterTerm(mesh.bfaces[:, c], ne + c * mesh.n_bfaces))
+            values.append(m.bvertex_normals)
+    plan = build_scatter_plan(terms, mesh.n_vertices, name="mesh.closure")
+    return plan.apply(np.concatenate(values))
 
 
 def validate_mesh(mesh: UnstructuredMesh, tol: float = 1e-9) -> MeshReport:

@@ -48,15 +48,20 @@ from .strategies import (
 __all__ = [
     "SCHEMA",
     "TRSV_SCHEMA",
+    "SCATTER_SCHEMA",
     "HISTORY_SCHEMA",
     "DEFAULT_STRATEGIES",
+    "SCATTER_KERNELS",
     "run_flux_scaling",
     "run_trsv_scaling",
+    "run_scatter_kernels",
     "run_dist_breakdown",
     "gate_failures",
     "trsv_gate_failures",
+    "scatter_gate_failures",
     "rolling_gate_failures",
     "rolling_trsv_gate_failures",
+    "rolling_scatter_gate_failures",
     "load_history",
     "append_history",
     "write_bench_json",
@@ -64,8 +69,10 @@ __all__ = [
 
 SCHEMA = "repro.bench.flux_scaling/v1"
 TRSV_SCHEMA = "repro.bench.trsv_scaling/v1"
+SCATTER_SCHEMA = "repro.bench.scatter_kernels/v1"
 HISTORY_SCHEMA = "repro.bench.history/v1"
 DEFAULT_STRATEGIES = ("locked", "replicate", "owner-natural", "owner-metis")
+SCATTER_KERNELS = ("flux-edge", "grad-edge", "jacobian-edge", "bcsr-matvec")
 
 
 def _split(label: str) -> tuple[str, str | None]:
@@ -320,6 +327,137 @@ def run_trsv_scaling(
     }
 
 
+def _scatter_cases(mesh, seed: int, engine: str | None = None):
+    """The four hot scatter structures of one mesh + deterministic values.
+
+    Yields ``(kernel, plan, x)`` where ``plan`` is the compiled
+    :class:`~repro.perf.scatter.ScatterPlan` of that kernel's write-out and
+    ``x`` a value array of the kernel's real block shape: edge fluxes
+    ``(ne, 4)``, LSQ gradient contributions ``(ne, 4, 3)``, Jacobian edge
+    blocks ``(2 ne, 4, 4)``, and BCSR SpMV row contributions ``(nnzb, 4)``.
+    """
+    from ..perf.scatter import (
+        edge_difference_plan,
+        edge_sum_plan,
+        jacobian_edge_plan,
+        scatter_plan,
+    )
+    from ..sparse.bcsr import bcsr_pattern_from_edges
+
+    rng = np.random.default_rng(seed)
+    e0, e1 = mesh.edges[:, 0], mesh.edges[:, 1]
+    nv, ne = mesh.n_vertices, mesh.n_edges
+
+    yield (
+        "flux-edge",
+        edge_difference_plan(e0, e1, nv, engine=engine, name="bench.flux"),
+        rng.standard_normal((ne, 4)),
+    )
+    yield (
+        "grad-edge",
+        edge_sum_plan(e0, e1, nv, engine=engine, name="bench.grad"),
+        rng.standard_normal((ne, 4, 3)),
+    )
+
+    rowptr, cols = bcsr_pattern_from_edges(mesh.edges, nv)
+    rows = np.repeat(np.arange(nv, dtype=np.int64), np.diff(rowptr))
+    keys = rows * np.int64(nv) + cols
+    diag_idx = np.searchsorted(
+        keys, np.arange(nv, dtype=np.int64) * nv + np.arange(nv)
+    )
+    idx_ij = np.searchsorted(keys, e0 * np.int64(nv) + e1)
+    idx_ji = np.searchsorted(keys, e1 * np.int64(nv) + e0)
+    yield (
+        "jacobian-edge",
+        jacobian_edge_plan(
+            diag_idx[e0],
+            idx_ij,
+            diag_idx[e1],
+            idx_ji,
+            cols.shape[0],
+            engine=engine,
+            name="bench.jacobian",
+        ),
+        rng.standard_normal((2 * ne, 4, 4)),
+    )
+    yield (
+        "bcsr-matvec",
+        scatter_plan(rows, nv, engine=engine, name="bench.matvec"),
+        rng.standard_normal((cols.shape[0], 4)),
+    )
+
+
+def run_scatter_kernels(
+    meshes,
+    repeats: int = 5,
+    seed: int = 7,
+    dataset: str = "?",
+    scale: float = 0.0,
+    engine: str | None = None,
+) -> dict:
+    """Time precompiled scatter plans against the ``np.add.at`` reference.
+
+    ``meshes`` is a sequence of meshes (typically one dataset at several
+    scales); for every mesh the four hot write-out structures of the solver
+    (edge-flux difference, LSQ gradient sum, 4-term Jacobian assembly, BCSR
+    SpMV row scatter) are compiled once and both execution paths are timed
+    on identical values.  Document schema
+    ``repro.bench.scatter_kernels/v1``: each result row carries the kernel
+    name in ``strategy``, the mesh size in ``workers``/``n_vertices`` (so
+    the shared gate/history machinery keys on the largest mesh), the plan
+    wall in ``wall_seconds``, the reference wall in ``addat_seconds``, and
+    ``max_abs_dev`` — which must be exactly ``0.0``: plans are
+    bitwise-identical to the reference by contract, not approximately.
+    """
+    if not isinstance(meshes, (list, tuple)):
+        meshes = [meshes]
+
+    results = []
+    gate_serial = None
+    for mesh in meshes:
+        for kernel, plan, x in _scatter_cases(mesh, seed, engine):
+            out_plan = plan.out_like(x)
+            out_ref = plan.out_like(x)
+
+            def run_ref():
+                out_ref[...] = 0.0
+                plan.apply_reference(x, out_ref)
+
+            run_ref()
+            plan.apply(x, out=out_plan)
+            dev = float(np.max(np.abs(out_plan - out_ref))) if out_ref.size else 0.0
+            addat_wall = _time_call(run_ref, repeats)
+            plan_wall = _time_call(
+                lambda: plan.apply(x, out=out_plan), repeats
+            )
+            if kernel == "flux-edge":
+                gate_serial = addat_wall  # largest mesh wins (meshes ascend)
+            results.append({
+                "strategy": kernel,
+                "workers": int(mesh.n_vertices),
+                "mesh_vertices": int(mesh.n_vertices),
+                "mesh_edges": int(mesh.n_edges),
+                "engine": plan.engine,
+                "entries": int(plan.n_entries),
+                "wall_seconds": plan_wall,
+                "addat_seconds": addat_wall,
+                "speedup": addat_wall / plan_wall,
+                "max_abs_dev": dev,
+            })
+    return {
+        "schema": SCATTER_SCHEMA,
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "engine": engine or (results[0]["engine"] if results else ""),
+        "n_vertices": int(meshes[-1].n_vertices),
+        "n_edges": int(meshes[-1].n_edges),
+        "repeats": int(repeats),
+        "serial": {"wall_seconds": gate_serial},
+        "results": results,
+    }
+
+
 def run_dist_breakdown(
     mesh,
     n_ranks: int = 4,
@@ -418,6 +556,41 @@ def trsv_gate_failures(
     )
 
 
+def scatter_gate_failures(
+    doc: dict,
+    tol: float = 0.0,
+    max_slowdown: float = 1.25,
+    gate_strategy: str = "flux-edge",
+) -> list[str]:
+    """CI gate for the scatter-kernel sweep.
+
+    (1) Every (kernel, mesh) cell must be **bitwise** identical to the
+    ``np.add.at`` replay (``max_abs_dev <= 0.0`` — the determinism contract
+    admits no tolerance); (2) the edge-flux plan on the largest measured
+    mesh must not exceed ``max_slowdown`` times its own ``add.at`` wall
+    (``doc["serial"]`` carries that reference wall, so the shared
+    serial-relative check prices plan-vs-reference directly).
+    """
+    return gate_failures(
+        doc, tol=tol, max_slowdown=max_slowdown, gate_strategy=gate_strategy
+    )
+
+
+def rolling_scatter_gate_failures(
+    doc: dict,
+    history: list[dict],
+    window: int = 5,
+    max_regression: float = 1.25,
+    tol: float = 0.0,
+    gate_strategy: str = "flux-edge",
+) -> list[str]:
+    """Trend-aware scatter gate (see :func:`rolling_gate_failures`)."""
+    return rolling_gate_failures(
+        doc, history, window=window, max_regression=max_regression, tol=tol,
+        gate_strategy=gate_strategy,
+    )
+
+
 def rolling_trsv_gate_failures(
     doc: dict,
     history: list[dict],
@@ -438,11 +611,16 @@ def rolling_trsv_gate_failures(
 # ---------------------------------------------------------------------------
 
 def _doc_kind(record: dict) -> str:
-    """``trsv`` for TRSV-sweep documents/records, else ``flux``."""
+    """``trsv``/``scatter`` for those sweeps' documents, else ``flux``."""
     kind = record.get("kind")
     if kind is not None:
         return kind
-    return "trsv" if record.get("schema") == TRSV_SCHEMA else "flux"
+    schema = record.get("schema")
+    if schema == TRSV_SCHEMA:
+        return "trsv"
+    if schema == SCATTER_SCHEMA:
+        return "scatter"
+    return "flux"
 
 
 def _history_key(record: dict) -> tuple:

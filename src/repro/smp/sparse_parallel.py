@@ -148,8 +148,11 @@ def _run_trsv(
                     "nij,nj->ni", vals[ch.pair_blk], y[ch.pair_col]
                 )
                 a = acc[: rows.shape[0]]
-                a[:] = 0.0
-                np.add.at(a, ch.slot, contrib)
+                if ch.scatter is not None:
+                    ch.scatter.apply(contrib, out=a)
+                else:
+                    a[:] = 0.0
+                    np.add.at(a, ch.slot, contrib)
                 y[rows] = b[rows] - a
             else:
                 y[rows] = b[rows]
@@ -170,8 +173,11 @@ def _run_trsv(
                     "nij,nj->ni", vals[ch.pair_blk], x[ch.pair_col]
                 )
                 a = acc[: rows.shape[0]]
-                a[:] = 0.0
-                np.add.at(a, ch.slot, contrib)
+                if ch.scatter is not None:
+                    ch.scatter.apply(contrib, out=a)
+                else:
+                    a[:] = 0.0
+                    np.add.at(a, ch.slot, contrib)
                 x[rows] = np.einsum(
                     "nij,nj->ni", diag_inv[rows], y[rows] - a
                 )

@@ -123,7 +123,7 @@ class AdditiveSchwarzILU:
         rows_a = np.asarray(rows, dtype=np.int64)
         cols_a = np.asarray(cols, dtype=np.int64)
         gather_a = np.asarray(gather, dtype=np.int64)
-        np.add.at(rowptr, rows_a + 1, 1)
+        rowptr[1:] = np.bincount(rows_a, minlength=nl)
         np.cumsum(rowptr, out=rowptr)
         plan = build_ilu_plan(rowptr, cols_a, b=self.b, fill_level=self.fill_level)
         owned_mask = np.isin(local, owned)

@@ -58,6 +58,17 @@ class _LevelPairs:
     pair_blk: np.ndarray  # block value index
     pair_col: np.ndarray  # column (the already-solved unknown)
     pair_slot: np.ndarray  # position of pair_row within rows (local slot)
+    _scatter: object = field(default=None, repr=False)
+
+    def scatter(self):
+        """Precompiled ``acc[pair_slot] += contrib`` plan (lazy, cached)."""
+        if self._scatter is None:
+            from ..perf.scatter import scatter_plan
+
+            self._scatter = scatter_plan(
+                self.pair_slot, self.rows.shape[0], name="trsv.level"
+            )
+        return self._scatter
 
 
 @dataclass

@@ -86,15 +86,15 @@ def trsv_solve(
         work = TrsvWorkspace.for_plan(plan)
     y, x = work.y, work.x
 
-    # forward: y_i = b_i - sum_k L_ik y_k
+    # forward: y_i = b_i - sum_k L_ik y_k (pair-slot accumulation runs
+    # through each level's precompiled scatter plan, bitwise-identical to
+    # the np.add.at reference)
     for lp in plan.fwd_pairs:
         if lp.pair_blk.shape[0]:
             contrib = np.einsum(
                 "nij,nj->ni", vals[lp.pair_blk], y[lp.pair_col]
             )
-            acc = work.acc[: lp.rows.shape[0]]
-            acc[:] = 0.0
-            np.add.at(acc, lp.pair_slot, contrib)
+            acc = lp.scatter().apply(contrib, out=work.acc[: lp.rows.shape[0]])
             y[lp.rows] = b[lp.rows] - acc
         else:
             y[lp.rows] = b[lp.rows]
@@ -106,9 +106,7 @@ def trsv_solve(
             contrib = np.einsum(
                 "nij,nj->ni", vals[lp.pair_blk], x[lp.pair_col]
             )
-            acc = work.acc[: rows.shape[0]]
-            acc[:] = 0.0
-            np.add.at(acc, lp.pair_slot, contrib)
+            acc = lp.scatter().apply(contrib, out=work.acc[: rows.shape[0]])
             x[rows] = np.einsum(
                 "nij,nj->ni", diag_inv[rows], y[rows] - acc
             )

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
+from ..perf.scatter import scatter_plan
 from .ilu import ILUPlan, _StepBatch
 from .p2p import (
     DependencyGraph,
@@ -59,6 +60,9 @@ class TrsvChunk:
     ``m`` — the worker scatters into a ``(len(rows), b)`` scratch instead of
     an ``(n, b)`` array.  ``wait`` lists same-pass rows (P2P), ``wait_prev``
     previous-pass rows (backward sweep reading forward-sweep values).
+    ``scatter`` is the chunk's precompiled slot-accumulation plan
+    (:class:`~repro.perf.scatter.ScatterPlan`), built in the parent before
+    the fleet forks so every worker inherits it.
     """
 
     rows: np.ndarray
@@ -67,6 +71,7 @@ class TrsvChunk:
     pair_col: np.ndarray
     wait: np.ndarray
     wait_prev: np.ndarray
+    scatter: object = None
 
 
 @dataclass
@@ -250,14 +255,18 @@ def build_worker_plans(plan: ILUPlan, n_workers: int) -> SparseExecPlan:
                 p1 = np.searchsorted(lp.pair_row, mine[-1], side="right")
             else:
                 p0 = p1 = 0
+            slot = lp.pair_slot[p0:p1] - bounds[s]
             fwd_chunks.append(
                 TrsvChunk(
                     rows=mine,
-                    slot=lp.pair_slot[p0:p1] - bounds[s],
+                    slot=slot,
                     pair_blk=lp.pair_blk[p0:p1],
                     pair_col=lp.pair_col[p0:p1],
                     wait=wait,
                     wait_prev=np.zeros(0, dtype=np.int64),
+                    scatter=scatter_plan(
+                        slot, mine.shape[0], name="trsv.chunk"
+                    ),
                 )
             )
         bwd_chunks: list[TrsvChunk] = []
@@ -270,10 +279,11 @@ def build_worker_plans(plan: ILUPlan, n_workers: int) -> SparseExecPlan:
                 p1 = np.searchsorted(lp.pair_row, mine[-1], side="right")
             else:
                 p0 = p1 = 0
+            slot = lp.pair_slot[p0:p1] - bounds[s]
             bwd_chunks.append(
                 TrsvChunk(
                     rows=mine,
-                    slot=lp.pair_slot[p0:p1] - bounds[s],
+                    slot=slot,
                     pair_blk=lp.pair_blk[p0:p1],
                     pair_col=lp.pair_col[p0:p1],
                     wait=_chunk_wait(dep_bwd, mine, owner_bwd, s, reverse_n=n),
@@ -281,6 +291,9 @@ def build_worker_plans(plan: ILUPlan, n_workers: int) -> SparseExecPlan:
                     # own rows; rows another worker produced need a
                     # previous-pass wait
                     wait_prev=mine[owner_fwd[mine] != s],
+                    scatter=scatter_plan(
+                        slot, mine.shape[0], name="trsv.chunk"
+                    ),
                 )
             )
         workers.append(

@@ -23,6 +23,7 @@ from repro.ordering import (
     reverse_cuthill_mckee,
     verify_edge_coloring,
 )
+from repro.ordering.coloring import _greedy_edge_coloring_reference
 
 
 def path_graph(n):
@@ -105,6 +106,28 @@ class TestColoring:
         colors = np.array([0, 0])
         assert not verify_edge_coloring(edges, colors, 3)
 
+    def test_matches_sequential_reference_on_mesh(self):
+        m = box_mesh((5, 4, 4))
+        got = greedy_edge_coloring(m.edges, m.n_vertices)
+        want = _greedy_edge_coloring_reference(m.edges, m.n_vertices)
+        assert np.array_equal(got, want)
+
+    def test_empty_edge_list(self):
+        colors = greedy_edge_coloring(np.zeros((0, 2), dtype=np.int64), 5)
+        assert colors.shape == (0,)
+
+    def test_many_colors_grows_table(self):
+        # a star graph forces one color per edge, well past the initial
+        # 8-column occupancy table
+        n = 40
+        edges = np.stack(
+            [np.zeros(n - 1, dtype=np.int64), np.arange(1, n)], axis=1
+        )
+        got = greedy_edge_coloring(edges, n)
+        want = _greedy_edge_coloring_reference(edges, n)
+        assert np.array_equal(got, want)
+        assert np.array_equal(got, np.arange(n - 1))
+
 
 class TestMetrics:
     def test_bandwidth_empty(self):
@@ -135,7 +158,11 @@ def test_rcm_never_increases_bandwidth_much(n, seed):
 @settings(max_examples=15, deadline=None)
 @given(n=st.integers(40, 150), seed=st.integers(0, 50))
 def test_coloring_property(n, seed):
-    """Property: greedy edge coloring is always conflict-free."""
+    """Property: greedy edge coloring is always conflict-free and equal to
+    the sequential greedy scan it vectorizes."""
     m = delaunay_cloud_mesh(n, seed=seed)
     colors = greedy_edge_coloring(m.edges, m.n_vertices)
     assert verify_edge_coloring(m.edges, colors, m.n_vertices)
+    assert np.array_equal(
+        colors, _greedy_edge_coloring_reference(m.edges, m.n_vertices)
+    )
