@@ -9,6 +9,8 @@ Commands
 ``scaling``     multi-node strong-scaling table (Fig 9-11)
 ``partition``   partition-quality study (natural / RCB / multilevel)
 ``bench``       measured flux-kernel scaling sweep -> BENCH_flux_scaling.json
+                (``bench report`` prints the trend table of ``--history``)
+``top``         live per-rank/per-worker view of a running solve's metrics
 
 ``solve`` and ``profile`` accept ``--backend process --workers N`` to run
 the flux/gradient edge loops across real worker processes over shared
@@ -17,7 +19,12 @@ memory (``--edge-strategy`` picks locked / replicate / owner writes).
 Every command works on the generated ONERA-M6-like datasets; ``--scale``
 sizes them (1.0 = full Mesh-C'/Mesh-D' analogues).  ``solve``, ``profile``
 and ``scaling`` accept ``--trace-out`` (Chrome ``trace_event`` JSON for
-``chrome://tracing`` / Perfetto) and ``--metrics-out`` (JSONL event log).
+``chrome://tracing`` / Perfetto) and ``--metrics-out`` (JSONL event log);
+``solve`` and ``profile`` additionally accept ``--metrics-serve PORT``
+(live Prometheus endpoint while running), ``--metrics-prom`` (one-shot
+``.prom`` snapshot) and ``--trace-otlp`` (OTLP/JSON trace export), and
+install the flight recorder: a crash, SIGUSR1, or dead worker dumps a
+``flightrec-*.jsonl`` bundle with the fleet's last seconds of telemetry.
 """
 
 from __future__ import annotations
@@ -66,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Chrome trace_event JSON file")
         sp.add_argument("--metrics-out", metavar="PATH",
                         help="write a JSONL span/event/metrics log")
+        sp.add_argument("--metrics-serve", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live Prometheus text on "
+                             "http://127.0.0.1:PORT/metrics while running "
+                             "(0 = pick a free port)")
+        sp.add_argument("--metrics-prom", metavar="PATH",
+                        help="write a one-shot Prometheus text snapshot "
+                             "(.prom) at exit")
+        sp.add_argument("--trace-otlp", metavar="PATH",
+                        help="write the span tree as an OTLP/JSON trace "
+                             "export at exit")
 
     def add_backend_args(sp):
         sp.add_argument(
@@ -154,10 +172,31 @@ def build_parser() -> argparse.ArgumentParser:
     add_mesh_args(sp)
     sp.add_argument("--parts", type=int, default=20)
 
+    sp = sub.add_parser("top", help="live view of a running solve's telemetry")
+    sp.add_argument("--url", metavar="URL",
+                    help="Prometheus endpoint of the running solve "
+                         "(e.g. http://127.0.0.1:9100/metrics)")
+    sp.add_argument("--port", type=int, default=None,
+                    help="shorthand for --url http://127.0.0.1:PORT/metrics")
+    sp.add_argument("--interval", type=float, default=1.0,
+                    help="seconds between scrapes")
+    sp.add_argument("--iterations", type=int, default=None,
+                    help="frames to render (default: until the endpoint "
+                         "goes away)")
+    sp.add_argument("--plain", action="store_true",
+                    help="append frames instead of redrawing (logs/CI)")
+    sp.add_argument("spawn", nargs=argparse.REMAINDER, metavar="-- CMD",
+                    help="repro subcommand to launch and watch, e.g. "
+                         "`repro top -- solve --dist-ranks 4`")
+
     sp = sub.add_parser(
         "bench",
         help="measured flux-kernel scaling sweep (workers x strategies)",
     )
+    sp.add_argument("mode", nargs="?", choices=["run", "report"],
+                    default="run",
+                    help="'report' prints the per-kernel trend table of "
+                         "--history instead of running a sweep")
     add_mesh_args(sp)
     sp.add_argument("--workers", type=int, default=4,
                     help="max worker count of the sweep")
@@ -256,6 +295,120 @@ def _write_obs(args, tracer, metrics) -> None:
         print(f"wrote JSONL log: {args.metrics_out}")
 
 
+class _ObsSession:
+    """Observability envelope of one ``solve``/``profile`` run.
+
+    Owns the tracer and metrics registry the run writes into, installs the
+    flight recorder (crash dumps + SIGUSR1 on-demand bundles), publishes
+    the solver loop's progress into a process-local telemetry plane, runs
+    the aggregator thread that folds every live plane into ``live.*``
+    gauges, and — with ``--metrics-serve`` — serves Prometheus text while
+    the solve is still running.  ``flush()`` writes every requested export
+    and runs on *all* exit paths, so a Ctrl-C or SIGTERM mid-solve still
+    leaves partial trace/metrics files behind (satellite requirement).
+    """
+
+    SOLVER_SLOTS = (
+        "step", "residual", "cfl", "krylov_iters", "newton_steps",
+        "gmres_iters",
+    )
+
+    def __init__(self, args) -> None:
+        from .obs import MetricsRegistry, Tracer
+
+        self.args = args
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.plane = None
+        self.server = None
+        self.agg = None
+        self._live_cm = None
+        self._flushed = False
+
+    def __enter__(self) -> "_ObsSession":
+        import signal
+
+        from .obs.live import (
+            HealthMonitor,
+            MetricsServer,
+            TelemetryAggregator,
+            TelemetryPlane,
+            install_flight_recorder,
+            prometheus_text,
+            use_live_writer,
+        )
+        from .obs.live.recorder import get_flight_recorder, install_signal_dump
+
+        install_flight_recorder()
+        try:
+            install_signal_dump()  # SIGUSR1 -> on-demand bundle
+
+            def _term(signum, frame):  # SIGTERM flushes like Ctrl-C
+                raise KeyboardInterrupt
+
+            signal.signal(signal.SIGTERM, _term)
+        except (ValueError, OSError, AttributeError):
+            pass  # non-main thread or platform without these signals
+        self.plane = TelemetryPlane({"solver": self.SOLVER_SLOTS}, shared=False)
+        writer = self.plane.writer("solver")
+        writer.hello()
+        self._live_cm = use_live_writer(writer)
+        self._live_cm.__enter__()
+        self.agg = TelemetryAggregator(
+            self.metrics,
+            recorder=get_flight_recorder(),
+            health=HealthMonitor(),
+        )
+        self.agg.start()
+        if getattr(self.args, "metrics_serve", None) is not None:
+            self.server = MetricsServer(
+                lambda: prometheus_text(self.metrics),
+                port=self.args.metrics_serve,
+            )
+            self.server.start()
+            print(f"live metrics: {self.server.url}")
+        return self
+
+    def flush(self) -> None:
+        """Write every requested export (idempotent; runs on interrupt and
+        crash paths too, so partial data survives an aborted run)."""
+        if self._flushed:
+            return
+        self._flushed = True
+        args = self.args
+        _write_obs(args, self.tracer, self.metrics)
+        if getattr(args, "metrics_prom", None):
+            from .obs.live import write_prometheus
+
+            write_prometheus(args.metrics_prom, self.metrics)
+            print(f"wrote Prometheus snapshot: {args.metrics_prom}")
+        if getattr(args, "trace_otlp", None):
+            from .obs.live import write_otlp_trace
+
+            write_otlp_trace(self.tracer, args.trace_otlp)
+            print(f"wrote OTLP trace: {args.trace_otlp}")
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        from .obs.live.recorder import crash_dump
+
+        if self.agg is not None:
+            self.agg.stop()
+        if exc_type is not None and not issubclass(
+            exc_type, (KeyboardInterrupt, SystemExit)
+        ):
+            crash_dump(f"unhandled-{exc_type.__name__}")
+        try:
+            self.flush()
+        finally:
+            if self.server is not None:
+                self.server.stop()
+            if self._live_cm is not None:
+                self._live_cm.__exit__(None, None, None)
+            if self.plane is not None:
+                self.plane.close()
+        return False
+
+
 def _reconciliation(tracer, registry) -> float:
     """Worst per-kernel relative deviation, span tree vs flat registry.
 
@@ -273,7 +426,7 @@ def _reconciliation(tracer, registry) -> float:
     )
 
 
-def _run_dist_solve(args, app):
+def _run_dist_solve(args, app, obs=None):
     """N-rank distributed solve wrapped as a :class:`Fun3dRunResult`.
 
     The modeled per-kernel profile does not apply (ranks measure their own
@@ -286,8 +439,8 @@ def _run_dist_solve(args, app):
     from .perf import PerfRegistry, use_registry
 
     reg = PerfRegistry()
-    tracer = Tracer()
-    metrics = MetricsRegistry()
+    tracer = obs.tracer if obs is not None else Tracer()
+    metrics = obs.metrics if obs is not None else MetricsRegistry()
     with use_registry(reg), use_tracer(tracer), use_metrics(metrics):
         dres = distributed_solve(
             app.field,
@@ -323,7 +476,7 @@ def _print_dist_breakdown(dres) -> None:
     )
 
 
-def _run_solve(args):
+def _run_solve(args, obs=None):
     from contextlib import nullcontext
 
     from .apps import Fun3dApp, OptimizationConfig
@@ -357,7 +510,7 @@ def _run_solve(args):
             f"({'pipelined' if args.pipelined else 'plain'} halo exchange, "
             f"{args.allreduce} allreduce)"
         )
-        return app, _run_dist_solve(args, app)
+        return app, _run_dist_solve(args, app, obs)
     backend_cm = install_cm = nullcontext()
     if getattr(args, "backend", "serial") == "process":
         from .smp import ProcessEdgeBackend, use_edge_backend
@@ -376,33 +529,45 @@ def _run_solve(args):
             f"{100 * backend_cm.redundant_edge_fraction:.1f}%)"
         )
     with backend_cm, install_cm:
-        res = app.run(OptimizationConfig.baseline(ilu_fill=args.ilu))
+        res = app.run(
+            OptimizationConfig.baseline(ilu_fill=args.ilu),
+            tracer=obs.tracer if obs is not None else None,
+            metrics=obs.metrics if obs is not None else None,
+        )
     return app, res
 
 
 def cmd_solve(args) -> int:
     from .cfd import integrate_forces
 
-    app, res = _run_solve(args)
-    mesh, s = app.mesh, res.solve
-    print(f"{mesh.name}: {mesh.n_vertices} vertices / {mesh.n_edges} edges")
-    print(
-        f"converged={s.converged} steps={s.steps} "
-        f"krylov={s.linear_iterations} "
-        f"residual {s.initial_residual:.3e} -> {s.final_residual:.3e}"
-    )
-    forces = integrate_forces(app.field, s.q, app.flow)
-    print(f"CL={forces.cl:.4f} CD={forces.cd:.4f}")
-    if getattr(res, "dist", None) is not None:
-        _print_dist_breakdown(res.dist)
-    if res.profile:
-        print("baseline profile:")
-        for name, frac in sorted(
-            res.fractions().items(), key=lambda kv: -kv[1]
-        ):
-            print(f"  {name:<9} {100 * frac:5.1f}%")
-    _write_obs(args, res.trace, res.metrics)
-    return 0 if s.converged else 1
+    try:
+        with _ObsSession(args) as obs:
+            app, res = _run_solve(args, obs)
+            mesh, s = app.mesh, res.solve
+            print(
+                f"{mesh.name}: {mesh.n_vertices} vertices / "
+                f"{mesh.n_edges} edges"
+            )
+            print(
+                f"converged={s.converged} steps={s.steps} "
+                f"krylov={s.linear_iterations} "
+                f"residual {s.initial_residual:.3e} -> {s.final_residual:.3e}"
+            )
+            forces = integrate_forces(app.field, s.q, app.flow)
+            print(f"CL={forces.cl:.4f} CD={forces.cd:.4f}")
+            if getattr(res, "dist", None) is not None:
+                _print_dist_breakdown(res.dist)
+            if res.profile:
+                print("baseline profile:")
+                for name, frac in sorted(
+                    res.fractions().items(), key=lambda kv: -kv[1]
+                ):
+                    print(f"  {name:<9} {100 * frac:5.1f}%")
+            return 0 if s.converged else 1
+    except KeyboardInterrupt:
+        print("interrupted — partial telemetry exports flushed",
+              file=sys.stderr)
+        return 130
 
 
 def _print_recurrence_structure(app, fill: int) -> None:
@@ -431,10 +596,20 @@ def _print_recurrence_structure(app, fill: int) -> None:
 
 
 def cmd_profile(args) -> int:
+    try:
+        with _ObsSession(args) as obs:
+            return _cmd_profile_impl(args, obs)
+    except KeyboardInterrupt:
+        print("interrupted — partial telemetry exports flushed",
+              file=sys.stderr)
+        return 130
+
+
+def _cmd_profile_impl(args, obs) -> int:
     from .obs import aggregate_spans
     from .perf import format_profile
 
-    app, res = _run_solve(args)
+    app, res = _run_solve(args, obs)
     tracer, s = res.trace, res.solve
     print(f"{app.mesh.name}: traced solve "
           f"(converged={s.converged} steps={s.steps} "
@@ -470,7 +645,6 @@ def cmd_profile(args) -> int:
     else:
         print(f"span/registry reconciliation: max per-kernel deviation "
               f"{100 * _reconciliation(tracer, res.registry):.3f}%")
-    _write_obs(args, tracer, res.metrics)
     return 0 if s.converged else 1
 
 
@@ -687,6 +861,87 @@ def _bench_scatter(args, repeats) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    """Live terminal view of a running solve's Prometheus endpoint.
+
+    Attach with ``--url``/``--port``, or pass a repro subcommand after
+    ``--`` to launch it (``--metrics-serve`` appended on a free port) and
+    watch it until it exits.
+    """
+    from .obs.live.top import run_top
+
+    child = None
+    url = args.url
+    if url is None and args.port is not None:
+        url = f"http://127.0.0.1:{args.port}/metrics"
+    if url is None:
+        spawn = [a for a in args.spawn if a != "--"]
+        if not spawn:
+            print("top: give --url/--port or a command to launch "
+                  "(repro top -- solve ...)", file=sys.stderr)
+            return 2
+        import socket
+        import subprocess
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", *spawn,
+             "--metrics-serve", str(port)]
+        )
+        url = f"http://127.0.0.1:{port}/metrics"
+    try:
+        rc = run_top(
+            url,
+            interval=args.interval,
+            iterations=args.iterations,
+            plain=args.plain,
+        )
+    except KeyboardInterrupt:
+        rc = 130
+    if child is not None:
+        try:
+            child_rc = child.wait(timeout=60.0)
+        except Exception:
+            child.terminate()
+            child_rc = child.wait(timeout=10.0)
+        return child_rc
+    return rc
+
+
+def _cmd_bench_report(args) -> int:
+    """``repro bench report``: per-kernel trend table of the history file."""
+    from .perf import format_table
+    from .smp.bench import load_history, summarize_history
+
+    path = args.history or ".bench_history.jsonl"
+    records = load_history(path)
+    if not records:
+        print(f"no history records in {path}")
+        return 1
+    rows = [
+        [
+            r["kind"], str(r["dataset"]), r["cell"], str(r["runs"]),
+            f"{1e3 * r['median_seconds']:.2f}",
+            f"{1e3 * r['last_seconds']:.2f}",
+            f"{100 * r['delta_fraction']:+.1f}%",
+            r["verdict"],
+        ]
+        for r in summarize_history(records)
+    ]
+    print(format_table(
+        ["kind", "dataset", "cell", "runs", "median ms", "last ms",
+         "delta", "verdict"],
+        rows,
+        title=f"bench trends from {path} ({len(records)} records, "
+              f"rolling median of last 5)",
+    ))
+    if any(r[-1] == "regressed" for r in rows):
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .perf import format_table
     from .smp.bench import (
@@ -700,6 +955,9 @@ def cmd_bench(args) -> int:
         rolling_trsv_gate_failures,
         write_bench_json,
     )
+
+    if args.mode == "report":
+        return _cmd_bench_report(args)
 
     if args.quick:
         worker_list = [max(1, args.workers)]
@@ -832,6 +1090,7 @@ _COMMANDS = {
     "scaling": cmd_scaling,
     "partition": cmd_partition,
     "bench": cmd_bench,
+    "top": cmd_top,
 }
 
 

@@ -28,13 +28,36 @@ from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["SpanRecorder", "ShmTransport", "Communicator", "CommTimeout"]
+from ...obs.live.ring import STATE_BUSY, STATE_SPIN
+
+__all__ = [
+    "SpanRecorder",
+    "ShmTransport",
+    "Communicator",
+    "CommTimeout",
+    "RANK_SLOTS",
+]
 
 #: doubles per vertex a halo mailbox can carry in one message (state q is 4,
 #: gradients 12, gradient+limiter 16)
 DEFAULT_HALO_WIDTH = 16
 #: scalar slots per rank in the reduction scratch (>= GMRES restart + 1)
 DEFAULT_RED_WIDTH = 64
+
+#: default metric slots of one rank's telemetry row: solver progress
+#: (written by the rank program) plus communication totals (written by the
+#: communicator itself)
+RANK_SLOTS = (
+    "step",
+    "residual",
+    "cfl",
+    "krylov_iters",
+    "exchanges",
+    "allreduces",
+    "halo_seconds",
+    "allreduce_seconds",
+    "interior_seconds",
+)
 
 
 class CommTimeout(RuntimeError):
@@ -71,6 +94,8 @@ class ShmTransport:
         halo_width: int = DEFAULT_HALO_WIDTH,
         red_width: int = DEFAULT_RED_WIDTH,
         timeout: float = 120.0,
+        telemetry: bool = True,
+        rank_slots: Sequence[str] | None = None,
     ) -> None:
         from ...smp.shm import SharedArrayPool
 
@@ -98,9 +123,23 @@ class ShmTransport:
         self.up = [ctx.Semaphore(0) for _ in range(self.n_ranks)]
         self.down = [ctx.Semaphore(0) for _ in range(self.n_ranks)]
         self.barrier = ctx.Barrier(self.n_ranks)
+        # telemetry plane: one metric row + event ring per rank, allocated
+        # in the transport's own pool so the forked ranks inherit the
+        # mappings and the leak-proofing covers the plane too
+        self.plane = None
+        if telemetry:
+            from ...obs.live.plane import TelemetryPlane
+
+            slots = tuple(rank_slots) if rank_slots is not None else RANK_SLOTS
+            self.plane = TelemetryPlane(
+                {f"rank{r}": slots for r in range(self.n_ranks)},
+                pool=self.pool,
+            )
         self.spec = self.pool.export_spec()
 
     def close(self) -> None:
+        if self.plane is not None:
+            self.plane.close()
         self.pool.close()
 
 
@@ -156,6 +195,14 @@ class Communicator:
         self.halo_seconds = 0.0
         self.allreduce_seconds = 0.0
         self.bytes_sent = 0
+        # live telemetry: write through the fork-inherited plane arrays
+        # (not the re-attached pool) so the single-producer row stays tied
+        # to this rank regardless of the attach mode
+        self.telem = None
+        plane = getattr(transport, "plane", None)
+        if plane is not None:
+            self.telem = plane.writer(f"rank{self.rank}")
+            self.telem.hello()
 
     # -- helpers -------------------------------------------------------
     @staticmethod
@@ -163,11 +210,24 @@ class Communicator:
         return [int(np.prod(a.shape[1:])) if a.ndim > 1 else 1 for a in arrays]
 
     def _acquire(self, sem, what: str) -> None:
-        if not sem.acquire(timeout=self.timeout):
-            raise CommTimeout(
-                f"rank {self.rank}: timed out after {self.timeout}s "
-                f"waiting for {what}"
-            )
+        if self.telem is None:
+            if not sem.acquire(timeout=self.timeout):
+                raise CommTimeout(
+                    f"rank {self.rank}: timed out after {self.timeout}s "
+                    f"waiting for {what}"
+                )
+            return
+        # slice the wait so the heartbeat keeps pulsing while blocked: the
+        # health monitor then sees a live-but-spinning rank, not a corpse
+        deadline = time.monotonic() + self.timeout
+        while not sem.acquire(timeout=0.5):
+            self.telem.heartbeat(STATE_SPIN)
+            if time.monotonic() > deadline:
+                raise CommTimeout(
+                    f"rank {self.rank}: timed out after {self.timeout}s "
+                    f"waiting for {what}"
+                )
+        self.telem.heartbeat(STATE_BUSY)
 
     # -- halo exchange -------------------------------------------------
     def exchange_begin(self, arrays: Sequence[np.ndarray]) -> tuple:
@@ -222,6 +282,8 @@ class Communicator:
         self.recorder.add(
             "halo", t0, t1, messages=len(self.send_lists) + len(self.recv_lists)
         )
+        if self.telem is not None:
+            self.telem.add(exchanges=1.0, halo_seconds=t1 - t0)
 
     def halo_exchange(self, arrays: Sequence[np.ndarray]) -> None:
         """Blocking exchange: refresh ghost slots of every array in one
@@ -257,6 +319,8 @@ class Communicator:
         self.n_allreduces += 1
         self.allreduce_seconds += t1 - t0
         self.recorder.add("allreduce", t0, t1, width=k, op=op, algo=self.algo)
+        if self.telem is not None:
+            self.telem.add(allreduces=1.0, allreduce_seconds=t1 - t0)
         return float(out[0]) if np.ndim(values) == 0 else out
 
     def _allreduce_flat(self, vals, k, op):

@@ -566,7 +566,9 @@ def rank_solve_steady(
             strategy=opts.sparse_strategy,
             span_sink=comm.recorder.add,
         ) as backend, use_sparse_backend(backend):
-            return _rank_solve_steady_impl(data, comm, config, opts, pipelined)
+            return _rank_solve_steady_impl(
+                data, comm, config, opts, pipelined, sparse=backend
+            )
     return _rank_solve_steady_impl(data, comm, config, opts, pipelined)
 
 
@@ -576,6 +578,7 @@ def _rank_solve_steady_impl(
     config: FlowConfig,
     opts: SolverOptions,
     pipelined: bool,
+    sparse=None,
 ) -> RankSolveStats:
     from ...solver.distributed import dist_fd_operator, dist_gmres
 
@@ -598,6 +601,25 @@ def _rank_solve_steady_impl(
     step = 0
     q_owned = data.q0.copy()
 
+    def publish(step: int, rnorm: float, cfl: float, iters: int) -> None:
+        """Write this rank's solver-progress slots (and fold in the rank's
+        sparse worker fleet, whose plane only this process can see)."""
+        if comm.telem is None:
+            return
+        vals = {
+            "step": float(step),
+            "residual": float(rnorm),
+            "cfl": float(cfl),
+            "krylov_iters": float(iters),
+            "interior_seconds": ws.interior_seconds,
+        }
+        if sparse is not None:
+            for wid, tot in sparse.worker_telemetry_totals().items():
+                for k, v in tot.items():
+                    vals[f"sw{wid}_{k}"] = float(v)
+        comm.telem.update(**vals)
+        comm.telem.push_event("note", float(step), float(rnorm))
+
     for step in range(1, opts.max_steps + 1):
         ws.q[:no] = q_owned
         res = rank_residual(data, comm, ws, config, pipelined).copy()
@@ -605,6 +627,7 @@ def _rank_solve_steady_impl(
             np.sqrt(comm.allreduce(float(np.sum(res * res))) / n_unknowns)
         )
         history.append(rnorm)
+        publish(step, rnorm, cfl, total_linear)
         if r0_norm is None:
             r0_norm = rnorm
         if rnorm <= max(opts.steady_rtol * r0_norm, opts.steady_atol):
@@ -648,6 +671,7 @@ def _rank_solve_steady_impl(
         scale = min(1.0, opts.max_update / m) if m > 0 else 1.0
         q_owned += scale * du
 
+    publish(step, history[-1] if history else 0.0, cfl, total_linear)
     return RankSolveStats(
         q=q_owned,
         steps=step,

@@ -22,8 +22,9 @@ import os
 import time
 import traceback
 from dataclasses import dataclass, field as dc_field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
+from ...obs.live.recorder import crash_dump, reap_dead
 from .comm import Communicator, ShmTransport
 
 __all__ = ["DistRuntime", "RankResult"]
@@ -95,6 +96,8 @@ class DistRuntime:
         red_width: int = 64,
         allreduce_algo: str = "flat",
         timeout: float = 300.0,
+        telemetry: bool = True,
+        rank_slots: Sequence[str] | None = None,
     ) -> None:
         if "fork" not in mp.get_all_start_methods():
             raise RuntimeError(
@@ -113,6 +116,8 @@ class DistRuntime:
             halo_width=halo_width,
             red_width=red_width,
             timeout=timeout,
+            telemetry=telemetry,
+            rank_slots=rank_slots,
         )
         self._owner_pid = os.getpid()
         self._closed = False
@@ -171,10 +176,12 @@ class DistRuntime:
                     if not self._procs[r].is_alive()
                 ]
                 if dead:
+                    crash_dump("rank-death", dead=tuple(dead))
                     raise RuntimeError(
                         f"rank process(es) died before reporting: {dead}"
                     )
                 if time.monotonic() > deadline:
+                    crash_dump("rank-timeout")
                     raise RuntimeError(
                         f"timed out after {self.timeout}s waiting for ranks "
                         f"{sorted(pending)}"
@@ -184,6 +191,10 @@ class DistRuntime:
                 try:
                     rank, value, spans, stats, err = conn.recv()
                 except EOFError:
+                    dead = reap_dead(self._procs)
+                    crash_dump(
+                        "rank-death (pipe closed)", dead=tuple(dead)
+                    )
                     raise RuntimeError(
                         "rank process died mid-run (pipe closed)"
                     ) from None

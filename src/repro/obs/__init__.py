@@ -13,6 +13,10 @@ Three pieces, designed to sit *on top of* the flat kernel accounting in
   residual norms, halo bytes, allreduce counts).
 * :mod:`~repro.obs.export` — Chrome ``trace_event`` JSON (open in
   ``chrome://tracing`` / Perfetto) and a lossless JSONL event log.
+* :mod:`~repro.obs.live` — the cross-process telemetry plane: seqlock
+  metric rings in shared memory written by live workers/ranks, the
+  health monitor, the flight recorder, Prometheus/OTLP exporters, and
+  the ``repro top`` view.
 
 Typical use::
 
@@ -31,6 +35,19 @@ from .export import (
     read_jsonl,
     write_chrome_trace,
     write_jsonl,
+)
+from .live import (
+    FlightRecorder,
+    HealthMonitor,
+    MetricsServer,
+    TelemetryAggregator,
+    TelemetryPlane,
+    get_live_writer,
+    host_fingerprint,
+    install_flight_recorder,
+    live_planes,
+    prometheus_text,
+    use_live_writer,
 )
 from .metrics import (
     Counter,
@@ -73,4 +90,15 @@ __all__ = [
     "jsonl_records",
     "write_jsonl",
     "read_jsonl",
+    "FlightRecorder",
+    "HealthMonitor",
+    "MetricsServer",
+    "TelemetryAggregator",
+    "TelemetryPlane",
+    "get_live_writer",
+    "host_fingerprint",
+    "install_flight_recorder",
+    "live_planes",
+    "prometheus_text",
+    "use_live_writer",
 ]

@@ -1,0 +1,292 @@
+"""Telemetry planes: per-process rings bundled over a shared pool.
+
+A :class:`TelemetryPlane` allocates the ctl/times/slots/events arrays of
+:mod:`.ring` for a set of named processes — either inside a
+:class:`~repro.smp.shm.SharedArrayPool` (cross-process: backends allocate
+the plane in the same pool as their work arrays, so forked workers inherit
+the views and the existing /dev/shm cleanup covers telemetry segments too)
+or as plain numpy arrays for in-process producers like the solver loop.
+
+Planes self-register in a process-global registry; the Prometheus exporter,
+``repro top`` and the flight recorder all read whatever planes are live.
+The ambient-writer stack (:func:`use_live_writer` / :func:`get_live_writer`)
+mirrors ``use_metrics`` so deep solver code can publish without threading a
+writer through every signature.  The :class:`TelemetryAggregator` polls the
+registry into a ``MetricsRegistry`` (``live.*`` gauges) and feeds the health
+monitor and flight recorder.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .ring import (
+    CTL_WIDTH,
+    EV_WIDTH,
+    TIME_WIDTH,
+    ProcSnapshot,
+    RingEvent,
+    TelemetryReader,
+    TelemetryWriter,
+)
+
+__all__ = [
+    "DEFAULT_EVENTS",
+    "TelemetryPlane",
+    "TelemetryAggregator",
+    "register_plane",
+    "unregister_plane",
+    "live_planes",
+    "use_live_writer",
+    "get_live_writer",
+]
+
+#: Event names shared by every plane (codes are indices into this tuple).
+DEFAULT_EVENTS = (
+    "task_done",
+    "task_error",
+    "worker_death",
+    "rank_error",
+    "health",
+    "note",
+)
+
+
+class TelemetryPlane:
+    """Ctl/slots/event arrays for a set of named processes.
+
+    ``procs`` maps process name -> slot-name tuple (different processes may
+    expose different slots).  With ``pool`` set, arrays are allocated there
+    under ``tm.<proc>.*`` keys and the pool's owner handles unlinking; with
+    ``shared=True`` and no pool, the plane owns a private pool; otherwise
+    plain (process-local) numpy arrays back the rings.
+    """
+
+    def __init__(
+        self,
+        procs: Mapping[str, Sequence[str]],
+        capacity: int = 256,
+        events: Sequence[str] = DEFAULT_EVENTS,
+        pool=None,
+        shared: bool = True,
+        register: bool = True,
+    ) -> None:
+        self.procs = {n: tuple(s) for n, s in procs.items()}
+        self.capacity = int(capacity)
+        self.event_names = tuple(events)
+        self._owns_pool = False
+        self._closed = False
+        if pool is None and shared:
+            from ...smp.shm import SharedArrayPool
+
+            pool = SharedArrayPool()
+            self._owns_pool = True
+        self._pool = pool
+        self._arrays: dict[str, tuple[np.ndarray, ...]] = {}
+        for name, slot_names in self.procs.items():
+            shapes = (
+                ("ctl", (CTL_WIDTH,), np.int64),
+                ("times", (TIME_WIDTH,), np.float64),
+                ("slots", (max(1, len(slot_names)),), np.float64),
+                ("ev", (self.capacity, EV_WIDTH), np.float64),
+            )
+            if pool is not None:
+                arrs = tuple(
+                    pool.zeros(f"tm.{name}.{part}", shape, dtype)
+                    for part, shape, dtype in shapes
+                )
+            else:
+                arrs = tuple(np.zeros(shape, dtype) for _, shape, dtype in shapes)
+            self._arrays[name] = arrs
+        self._readers: dict[str, TelemetryReader] = {}
+        if register:
+            register_plane(self)
+
+    # ------------------------------------------------------------------
+    def writer(self, name: str) -> TelemetryWriter:
+        ctl, times, slots, ev = self._arrays[name]
+        return TelemetryWriter(
+            name, self.procs[name], self.event_names, ctl, times, slots, ev
+        )
+
+    def reader(self, name: str) -> TelemetryReader:
+        """Cached reader (its ring tail must persist across drains)."""
+        r = self._readers.get(name)
+        if r is None:
+            ctl, times, slots, ev = self._arrays[name]
+            r = TelemetryReader(
+                name, self.procs[name], self.event_names, ctl, times, slots, ev
+            )
+            self._readers[name] = r
+        return r
+
+    # ------------------------------------------------------------------
+    def snapshot_all(self) -> dict[str, ProcSnapshot]:
+        if self._closed:
+            return {}
+        return {n: self.reader(n).snapshot() for n in self.procs}
+
+    def drain_all(self) -> list[RingEvent]:
+        if self._closed:
+            return []
+        out: list[RingEvent] = []
+        for n in self.procs:
+            out.extend(self.reader(n).drain_events())
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unregister; unlink segments only if the plane owns its pool."""
+        if self._closed:
+            return
+        self._closed = True
+        unregister_plane(self)
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "TelemetryPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# process-global plane registry
+# ---------------------------------------------------------------------------
+_planes: list[TelemetryPlane] = []
+_planes_lock = threading.Lock()
+
+
+def register_plane(plane: TelemetryPlane) -> None:
+    with _planes_lock:
+        if plane not in _planes:
+            _planes.append(plane)
+
+
+def unregister_plane(plane: TelemetryPlane) -> None:
+    with _planes_lock:
+        if plane in _planes:
+            _planes.remove(plane)
+
+
+def live_planes() -> list[TelemetryPlane]:
+    with _planes_lock:
+        return list(_planes)
+
+
+# ---------------------------------------------------------------------------
+# ambient writer (mirrors use_metrics / use_tracer)
+# ---------------------------------------------------------------------------
+_writer_stack: list[TelemetryWriter] = []
+
+
+def get_live_writer() -> TelemetryWriter | None:
+    return _writer_stack[-1] if _writer_stack else None
+
+
+@contextmanager
+def use_live_writer(writer: TelemetryWriter) -> Iterator[TelemetryWriter]:
+    _writer_stack.append(writer)
+    depth = len(_writer_stack)
+    try:
+        yield writer
+    finally:
+        del _writer_stack[depth - 1 :]
+
+
+# ---------------------------------------------------------------------------
+# aggregator
+# ---------------------------------------------------------------------------
+class TelemetryAggregator:
+    """Polls live planes into a MetricsRegistry + health/flight pipeline.
+
+    ``poll_once`` is synchronous (tests, one-shot exports); ``start`` runs
+    it on a daemon thread every ``interval`` seconds.
+    """
+
+    def __init__(
+        self,
+        metrics=None,
+        recorder=None,
+        health=None,
+        interval: float = 1.0,
+        on_health: Callable | None = None,
+    ) -> None:
+        self.metrics = metrics
+        self.recorder = recorder
+        self.health = health
+        self.interval = float(interval)
+        self.on_health = on_health
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def poll_once(self, planes=None, now: float | None = None):
+        now = time.monotonic() if now is None else now
+        snaps: dict[str, ProcSnapshot] = {}
+        events: list[RingEvent] = []
+        for plane in live_planes() if planes is None else planes:
+            snaps.update(plane.snapshot_all())
+            events.extend(plane.drain_all())
+        if self.metrics is not None:
+            for name, s in snaps.items():
+                if s.pid == 0:  # never said hello
+                    continue
+                for slot, val in s.slots.items():
+                    self.metrics.gauge(f"live.{name}.{slot}").set(val)
+                self.metrics.gauge(f"live.{name}.heartbeat_age").set(
+                    s.heartbeat_age(now)
+                )
+        if self.recorder is not None:
+            for ev in events:
+                self.recorder.record(
+                    "plane_event", proc=ev.proc, name=ev.name, ts=ev.ts,
+                    a=ev.a, b=ev.b,
+                )
+        health_events = []
+        if self.health is not None:
+            health_events = self.health.check(snaps, now=now)
+            for he in health_events:
+                if self.metrics is not None:
+                    self.metrics.counter(f"health.{he.kind}").inc()
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "health", kind=he.kind, proc=he.proc, **he.detail
+                    )
+                if self.on_health is not None:
+                    self.on_health(he)
+        return snaps, events, health_events
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(self.interval):
+                try:
+                    self.poll_once()
+                except Exception:  # pragma: no cover - keep polling alive
+                    pass
+
+        self._thread = threading.Thread(
+            target=_loop, name="repro-telemetry-agg", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        try:
+            self.poll_once()  # final drain
+        except Exception:
+            pass

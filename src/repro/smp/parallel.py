@@ -52,14 +52,19 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.live.recorder import crash_dump, reap_dead
+from ..obs.live.ring import STATE_BUSY, STATE_IDLE
 from ..obs.metrics import get_metrics
 from ..obs.span import get_tracer
 from .shm import SharedArrayPool
 from .strategies import metis_thread_labels, natural_thread_labels
 
-__all__ = ["ProcessEdgeBackend", "STRATEGIES"]
+__all__ = ["ProcessEdgeBackend", "STRATEGIES", "EDGE_WORKER_SLOTS"]
 
 STRATEGIES = ("locked", "replicate", "owner")
+
+#: Telemetry slots every edge worker publishes (see repro.obs.live).
+EDGE_WORKER_SLOTS = ("tasks", "flux_calls", "grad_calls", "busy_seconds")
 
 
 @dataclass
@@ -91,6 +96,7 @@ class _WorkerSpec:
     rhs: np.ndarray
     acc: np.ndarray | None = dc_field(default=None)  # this worker's slab
     acc_rhs: np.ndarray | None = dc_field(default=None)
+    telem: Any = None  # TelemetryWriter | None
 
 
 def _run_flux(spec: _WorkerSpec, lock, beta, scheme, use_grad, use_limiter):
@@ -146,6 +152,9 @@ def _run_grad(spec: _WorkerSpec, lock):
 
 def _worker_loop(wid: int, spec: _WorkerSpec, conn, lock) -> None:
     """Worker main: serve tasks off the duplex pipe until ``None`` arrives."""
+    telem = spec.telem
+    if telem is not None:
+        telem.hello()
     while True:
         try:
             task = conn.recv()
@@ -154,6 +163,8 @@ def _worker_loop(wid: int, spec: _WorkerSpec, conn, lock) -> None:
         if task is None:
             break
         kind, seq = task[0], task[1]
+        if telem is not None:
+            telem.heartbeat(STATE_BUSY)
         t0 = time.perf_counter()
         err = None
         try:
@@ -168,7 +179,20 @@ def _worker_loop(wid: int, spec: _WorkerSpec, conn, lock) -> None:
                 raise ValueError(f"unknown task kind {kind!r}")
         except Exception as exc:  # surfaced to the parent, never swallowed
             err = f"{type(exc).__name__}: {exc}"
-        conn.send((wid, seq, t0, time.perf_counter(), err))
+        t1 = time.perf_counter()
+        conn.send((wid, seq, t0, t1, err))
+        if telem is not None:
+            calls = {"flux": "flux_calls", "grad": "grad_calls"}.get(kind)
+            telem.add(
+                tasks=1.0,
+                busy_seconds=t1 - t0,
+                **({calls: 1.0} if calls else {}),
+            )
+            if err is None:
+                telem.push_event("task_done", a=float(seq), b=t1 - t0)
+            else:
+                telem.push_event("task_error", a=float(seq))
+            telem.heartbeat(STATE_IDLE)
 
 
 class ProcessEdgeBackend:
@@ -190,6 +214,11 @@ class ProcessEdgeBackend:
         conflict granule of the atomics stand-in.
     timeout:
         seconds to wait for a worker round before declaring it dead.
+    telemetry:
+        allocate a live telemetry plane (default on): workers publish
+        heartbeat/state plus task and busy-time counters into shared
+        slots (:mod:`repro.obs.live`), readable from the parent while
+        the fleet runs.
     """
 
     def __init__(
@@ -201,6 +230,7 @@ class ProcessEdgeBackend:
         seed: int = 0,
         lock_block: int = 64,
         timeout: float = 120.0,
+        telemetry: bool = True,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -242,6 +272,19 @@ class ProcessEdgeBackend:
         self._q, self._grad, self._limiter = q, grad, limiter
         self._res, self._rhs = res, rhs
         self._acc, self._acc_rhs = acc, acc_rhs
+
+        self._plane = None
+        writers: list[Any] = [None] * w
+        if telemetry:
+            from ..obs.live import TelemetryPlane
+
+            # plane arrays live in the backend pool: forked workers
+            # inherit the views, the leak tests cover the segments
+            self._plane = TelemetryPlane(
+                {f"edge.w{s}": EDGE_WORKER_SLOTS for s in range(w)},
+                pool=self._pool,
+            )
+            writers = [self._plane.writer(f"edge.w{s}") for s in range(w)]
 
         # --- edge partition (read-only, inherited by fork) ------------
         self.labels = None
@@ -297,6 +340,7 @@ class ProcessEdgeBackend:
                 rhs=rhs,
                 acc=acc[s] if acc is not None else None,
                 acc_rhs=acc_rhs[s] if acc_rhs is not None else None,
+                telem=writers[s],
             )
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             p = ctx.Process(
@@ -337,6 +381,10 @@ class ProcessEdgeBackend:
     def segment_names(self) -> dict[str, str]:
         return self._pool.segment_names()
 
+    def telemetry_plane(self):
+        """This fleet's live plane (None when telemetry is disabled)."""
+        return self._plane
+
     # ------------------------------------------------------------------
     def _require_usable(self) -> None:
         """Refuse before touching the shared arrays: after ``close()`` the
@@ -361,7 +409,16 @@ class ProcessEdgeBackend:
         seq = self._seq
         task = (task_tail[0], seq) + tuple(task_tail[1:])
         for conn in self._conns:
-            conn.send(task)
+            try:
+                conn.send(task)
+            except OSError:  # a dead worker's pipe rejects the send
+                self._broken = True
+                dead = reap_dead(self._workers)
+                crash_dump("edge-worker-death (send failed)",
+                           dead=tuple(dead))
+                raise RuntimeError(
+                    f"worker process(es) died mid-loop: {dead}"
+                ) from None
         results: list[tuple[int, float, float]] = []
         pending = dict(enumerate(self._conns))
         deadline = time.monotonic() + self.timeout
@@ -375,11 +432,13 @@ class ProcessEdgeBackend:
                 ]
                 if dead:
                     self._broken = True
+                    crash_dump("edge-worker-death", dead=tuple(dead))
                     raise RuntimeError(
                         f"worker process(es) died mid-loop: {dead}"
                     )
                 if time.monotonic() > deadline:
                     self._broken = True
+                    crash_dump("edge-worker-timeout")
                     raise RuntimeError(
                         f"timed out after {self.timeout}s waiting for workers"
                     )
@@ -389,6 +448,10 @@ class ProcessEdgeBackend:
                     wid, rseq, t0, t1, err = conn.recv()
                 except EOFError:
                     self._broken = True
+                    dead = reap_dead(self._workers)
+                    crash_dump(
+                        "edge-worker-death (pipe closed)", dead=tuple(dead)
+                    )
                     raise RuntimeError(
                         "worker process died mid-loop (pipe closed)"
                     ) from None
@@ -485,6 +548,8 @@ class ProcessEdgeBackend:
                 conn.close()
             except Exception:
                 pass
+        if self._plane is not None:
+            self._plane.close()  # unregister before the pool unlinks
         self._pool.close()
         try:
             atexit.unregister(self.close)

@@ -54,36 +54,31 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..obs.live.recorder import crash_dump, reap_dead
+from ..obs.live.ring import STATE_BUSY, STATE_IDLE, STATE_SPIN
 from ..obs.metrics import get_metrics
 from ..obs.span import get_tracer
 from ..sparse.bcsr import BCSRMatrix
 from ..sparse.ilu import ILUFactor, ILUPlan
+from ..sparse.p2p import SpinStats, wait_generation
 from ..sparse.wplan import SparseExecPlan, WorkerPlan
 from .shm import SharedArrayPool
 
-__all__ = ["SparseProcessBackend", "SPARSE_STRATEGIES"]
+__all__ = ["SparseProcessBackend", "SPARSE_STRATEGIES", "SPARSE_WORKER_SLOTS"]
 
 SPARSE_STRATEGIES = ("levels", "p2p")
 
-
-def _wait_flags(
-    flags: np.ndarray, idx: np.ndarray, gen: int, deadline: float
-) -> None:
-    """Spin until every row in ``idx`` has published generation ``gen``.
-
-    ``sleep(0)`` yields the GIL-free core so sibling workers make progress
-    even when oversubscribed (the CI runners have 2 cores).
-    """
-    if idx.shape[0] == 0:
-        return
-    while not (flags[idx] >= gen).all():
-        if time.monotonic() > deadline:
-            missing = idx[flags[idx] < gen]
-            raise RuntimeError(
-                f"p2p wait timed out; rows {missing[:8].tolist()} "
-                f"never reached generation {gen}"
-            )
-        time.sleep(0)
+#: Telemetry slots every sparse worker publishes (see repro.obs.live).
+SPARSE_WORKER_SLOTS = (
+    "tasks",
+    "ilu_calls",
+    "trsv_calls",
+    "busy_seconds",
+    "spin_waits",
+    "spin_iters",
+    "spin_seconds",
+    "wait_rows",  # static P2P wait volume of the worker's program
+)
 
 
 @dataclass
@@ -100,15 +95,20 @@ class _SparseSpec:
     y: np.ndarray
     x: np.ndarray
     flags: np.ndarray
+    telem: Any = None  # TelemetryWriter | None
 
 
-def _run_ilu(spec: _SparseSpec, barrier, gen: int) -> None:
+def _run_ilu(
+    spec: _SparseSpec, barrier, gen: int, stats=None, spin_hb=None
+) -> None:
     vals, diag_inv, flags = spec.vals, spec.diag_inv, spec.flags
     p2p = spec.strategy == "p2p"
     deadline = time.monotonic() + spec.timeout
     for chunk in spec.wplan.ilu:
         if p2p:
-            _wait_flags(flags, chunk.wait, gen, deadline)
+            wait_generation(
+                flags, chunk.wait, gen, deadline, stats, spin_hb
+            )
         for sb in chunk.steps:
             if sb.lik_idx.shape[0] == 0:
                 continue
@@ -130,7 +130,13 @@ def _run_ilu(spec: _SparseSpec, barrier, gen: int) -> None:
 
 
 def _run_trsv(
-    spec: _SparseSpec, barrier, acc: np.ndarray, gf: int, gb: int
+    spec: _SparseSpec,
+    barrier,
+    acc: np.ndarray,
+    gf: int,
+    gb: int,
+    stats=None,
+    spin_hb=None,
 ) -> None:
     vals, diag_inv, flags = spec.vals, spec.diag_inv, spec.flags
     b, y, x = spec.rhs, spec.y, spec.x
@@ -140,7 +146,7 @@ def _run_trsv(
     # forward: y_i = b_i - sum_k L_ik y_k
     for ch in spec.wplan.fwd:
         if p2p:
-            _wait_flags(flags, ch.wait, gf, deadline)
+            wait_generation(flags, ch.wait, gf, deadline, stats, spin_hb)
         rows = ch.rows
         if rows.shape[0]:
             if ch.pair_blk.shape[0]:
@@ -164,8 +170,10 @@ def _run_trsv(
     # backward: x_i = inv(U_ii) (y_i - sum_{j>i} U_ij x_j)
     for ch in spec.wplan.bwd:
         if p2p:
-            _wait_flags(flags, ch.wait_prev, gf, deadline)
-            _wait_flags(flags, ch.wait, gb, deadline)
+            wait_generation(
+                flags, ch.wait_prev, gf, deadline, stats, spin_hb
+            )
+            wait_generation(flags, ch.wait, gb, deadline, stats, spin_hb)
         rows = ch.rows
         if rows.shape[0]:
             if ch.pair_blk.shape[0]:
@@ -192,6 +200,12 @@ def _run_trsv(
 def _sparse_worker_loop(wid: int, spec: _SparseSpec, conn, barrier) -> None:
     """Worker main: serve tasks off the duplex pipe until ``None`` arrives."""
     acc = np.zeros((spec.wplan.max_rows, spec.rhs.shape[1]))
+    telem = spec.telem
+    if telem is not None:
+        telem.hello()
+    spin_hb = (
+        (lambda: telem.heartbeat(STATE_SPIN)) if telem is not None else None
+    )
     while True:
         try:
             task = conn.recv()
@@ -200,20 +214,39 @@ def _sparse_worker_loop(wid: int, spec: _SparseSpec, conn, barrier) -> None:
         if task is None:
             break
         kind, seq = task[0], task[1]
+        if telem is not None:
+            telem.heartbeat(STATE_BUSY)
+        stats = SpinStats()
         t0 = time.perf_counter()
         err = None
         try:
             if kind == "ilu":
-                _run_ilu(spec, barrier, task[2])
+                _run_ilu(spec, barrier, task[2], stats, spin_hb)
             elif kind == "trsv":
-                _run_trsv(spec, barrier, acc, task[2], task[3])
+                _run_trsv(spec, barrier, acc, task[2], task[3], stats, spin_hb)
             elif kind == "sleep":  # test/diagnostic hook
                 time.sleep(task[2])
             else:
                 raise ValueError(f"unknown task kind {kind!r}")
         except Exception as exc:  # surfaced to the parent, never swallowed
             err = f"{type(exc).__name__}: {exc}"
-        conn.send((wid, seq, t0, time.perf_counter(), err))
+        t1 = time.perf_counter()
+        conn.send((wid, seq, t0, t1, err))
+        if telem is not None:
+            calls = {"ilu": "ilu_calls", "trsv": "trsv_calls"}.get(kind)
+            telem.add(
+                tasks=1.0,
+                busy_seconds=t1 - t0,
+                spin_waits=float(stats.waits),
+                spin_iters=float(stats.iters),
+                spin_seconds=stats.seconds,
+                **({calls: 1.0} if calls else {}),
+            )
+            if err is None:
+                telem.push_event("task_done", a=float(seq), b=t1 - t0)
+            else:
+                telem.push_event("task_error", a=float(seq))
+            telem.heartbeat(STATE_IDLE)
 
 
 @dataclass
@@ -234,6 +267,8 @@ class _Fleet:
     workers: list
     factor: ILUFactor
     gen: int = dc_field(default=0)
+    plane: Any = None  # TelemetryPlane | None
+    proc_names: list = dc_field(default_factory=list)
 
 
 class SparseProcessBackend:
@@ -263,6 +298,11 @@ class SparseProcessBackend:
     max_plans:
         distinct plans served before ``handles_plan`` starts declining
         (callers then fall back to the sequential kernels).
+    telemetry:
+        allocate a live telemetry plane per fleet (default on): every
+        worker publishes heartbeat/state plus task, busy-time and P2P
+        spin counters into shared slots (:mod:`repro.obs.live`), readable
+        from this process while the fleet runs.
     """
 
     def __init__(
@@ -272,6 +312,7 @@ class SparseProcessBackend:
         timeout: float = 120.0,
         span_sink: Callable[..., None] | None = None,
         max_plans: int = 8,
+        telemetry: bool = True,
     ) -> None:
         if strategy not in SPARSE_STRATEGIES:
             raise ValueError(
@@ -290,6 +331,8 @@ class SparseProcessBackend:
         self.timeout = float(timeout)
         self.max_plans = int(max_plans)
         self._span_sink = span_sink
+        self._telemetry = bool(telemetry)
+        self._fleet_seq = 0
         self._fleets: dict[int, _Fleet] = {}
         self._owner_pid = os.getpid()
         self._closed = False
@@ -343,6 +386,32 @@ class SparseProcessBackend:
         y = pool.zeros("y", (plan.n, plan.b))
         x = pool.zeros("x", (plan.n, plan.b))
         flags = pool.zeros("flags", (plan.n,), dtype=np.int64)
+        plane = None
+        writers: list[Any] = [None] * self.n_workers
+        proc_names: list[str] = []
+        if self._telemetry:
+            from ..obs.live import TelemetryPlane
+
+            prefix = (
+                "sparse" if self._fleet_seq == 0
+                else f"sparse.f{self._fleet_seq}"
+            )
+            self._fleet_seq += 1
+            proc_names = [
+                f"{prefix}.w{s}" for s in range(self.n_workers)
+            ]
+            # plane arrays live in the fleet pool: forked workers inherit
+            # the views and the /dev/shm leak tests cover them for free
+            plane = TelemetryPlane(
+                {name: SPARSE_WORKER_SLOTS for name in proc_names},
+                pool=pool,
+            )
+            sync = exec_plan.sync_stats()
+            for s, name in enumerate(proc_names):
+                writers[s] = plane.writer(name)
+                # static plan-shape counter, stamped before the fork; the
+                # worker is the only writer afterwards
+                writers[s].update(wait_rows=float(sum(sync[s].values())))
         ctx = mp.get_context("fork")
         barrier = ctx.Barrier(self.n_workers)
         conns, workers = [], []
@@ -358,6 +427,7 @@ class SparseProcessBackend:
                 y=y,
                 x=x,
                 flags=flags,
+                telem=writers[s],
             )
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             p = ctx.Process(
@@ -384,6 +454,8 @@ class SparseProcessBackend:
             conns=conns,
             workers=workers,
             factor=ILUFactor(plan=plan, vals=vals, diag_inv=diag_inv),
+            plane=plane,
+            proc_names=proc_names,
         )
         self._fleets[id(plan)] = fleet
         met = get_metrics()
@@ -400,7 +472,16 @@ class SparseProcessBackend:
         seq = self._seq
         task = (task_tail[0], seq) + tuple(task_tail[1:])
         for conn in fleet.conns:
-            conn.send(task)
+            try:
+                conn.send(task)
+            except OSError:  # a dead worker's pipe rejects the send
+                self._broken = True
+                dead = reap_dead(fleet.workers)
+                crash_dump("sparse-worker-death (send failed)",
+                           dead=tuple(dead))
+                raise RuntimeError(
+                    f"sparse worker process(es) died mid-solve: {dead}"
+                ) from None
         results: list[tuple[int, float, float]] = []
         pending = dict(enumerate(fleet.conns))
         deadline = time.monotonic() + self.timeout
@@ -414,11 +495,13 @@ class SparseProcessBackend:
                 ]
                 if dead:
                     self._broken = True
+                    crash_dump("sparse-worker-death", dead=tuple(dead))
                     raise RuntimeError(
                         f"sparse worker process(es) died mid-solve: {dead}"
                     )
                 if time.monotonic() > deadline:
                     self._broken = True
+                    crash_dump("sparse-worker-timeout")
                     raise RuntimeError(
                         f"timed out after {self.timeout}s waiting for workers"
                     )
@@ -428,6 +511,11 @@ class SparseProcessBackend:
                     wid, rseq, t0, t1, err = conn.recv()
                 except EOFError:
                     self._broken = True
+                    dead = reap_dead(fleet.workers)
+                    crash_dump(
+                        "sparse-worker-death (pipe closed)",
+                        dead=tuple(dead),
+                    )
                     raise RuntimeError(
                         "sparse worker died mid-solve (pipe closed)"
                     ) from None
@@ -514,6 +602,29 @@ class SparseProcessBackend:
         self._dispatch_collect(fleet, ("sleep", float(seconds)))
 
     # ------------------------------------------------------------------
+    def telemetry_planes(self) -> list:
+        """Live telemetry planes of all fleets (empty when disabled)."""
+        return [f.plane for f in self._fleets.values() if f.plane is not None]
+
+    def worker_telemetry_totals(self) -> dict[int, dict[str, float]]:
+        """Per-wid slot totals summed across fleets.
+
+        Ranks of the distributed runtime fold these into their own rank
+        slots each Newton step, because the top-level parent cannot see a
+        grandchild fleet's shared plane.
+        """
+        totals: dict[int, dict[str, float]] = {}
+        for fleet in self._fleets.values():
+            if fleet.plane is None:
+                continue
+            for name, snap in fleet.plane.snapshot_all().items():
+                wid = int(name.rsplit(".w", 1)[1])
+                t = totals.setdefault(wid, {})
+                for k, v in snap.slots.items():
+                    t[k] = t.get(k, 0.0) + v
+        return totals
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop all fleets and unlink their shared segments.  Idempotent."""
         if self._closed or os.getpid() != self._owner_pid:
@@ -539,6 +650,8 @@ class SparseProcessBackend:
                     conn.close()
                 except Exception:
                     pass
+            if fleet.plane is not None:
+                fleet.plane.close()  # unregister before the pool unlinks
             fleet.pool.close()
         self._fleets.clear()
         try:

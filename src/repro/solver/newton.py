@@ -23,6 +23,7 @@ from ..cfd.jacobian import JacobianAssembler
 from ..cfd.residual import compute_residual, residual_norm
 from ..cfd.state import FlowConfig, FlowField
 from ..cfd.timestep import local_timestep, ser_cfl
+from ..obs.live.plane import get_live_writer
 from ..obs.metrics import get_metrics
 from ..obs.span import get_tracer, kernel_span
 from .gmres import gmres
@@ -155,6 +156,7 @@ def _solve_steady_impl(
     converged = False
     cfl = opts.cfl0
     r0_norm = None
+    live = get_live_writer()  # ambient telemetry row (set by the CLI)
 
     step = 0
     with tracer.span(
@@ -172,6 +174,14 @@ def _solve_steady_impl(
                     callback(step, rnorm, cfl)
                 tracer.event("residual", step=step, rnorm=rnorm, cfl=cfl)
                 metrics.gauge("newton.residual_norm").set(rnorm)
+                if live is not None:
+                    live.update(
+                        step=float(step),
+                        residual=float(rnorm),
+                        cfl=float(cfl),
+                        krylov_iters=float(total_linear),
+                    )
+                    live.add(newton_steps=1.0)
                 if rnorm <= max(opts.steady_rtol * r0_norm, opts.steady_atol):
                     converged = True
                     break

@@ -94,6 +94,23 @@ class WorkerPlan:
     bwd: list[TrsvChunk]
     max_rows: int  # widest chunk, sizes the local accumulation scratch
 
+    def wait_rows(self) -> dict[str, int]:
+        """Static P2P wait volume of this worker's program.
+
+        Total rows across all chunk wait lists per phase — the number of
+        generation-flag reads one pass must satisfy.  The telemetry plane
+        publishes these next to the measured spin counters so a high live
+        spin fraction can be attributed to plan shape vs. load imbalance.
+        """
+        return {
+            "ilu": sum(int(c.wait.shape[0]) for c in self.ilu),
+            "fwd": sum(int(c.wait.shape[0]) for c in self.fwd),
+            "bwd": sum(
+                int(c.wait.shape[0]) + int(c.wait_prev.shape[0])
+                for c in self.bwd
+            ),
+        }
+
 
 @dataclass
 class SparseExecPlan:
@@ -117,6 +134,10 @@ class SparseExecPlan:
     def cross_deps(self) -> int:
         """Total retained cross-worker synchronizations of one solve."""
         return self.cross_deps_fwd + self.cross_deps_bwd
+
+    def sync_stats(self) -> dict[int, dict[str, int]]:
+        """Per-worker static wait volume (see :meth:`WorkerPlan.wait_rows`)."""
+        return {w.wid: w.wait_rows() for w in self.workers}
 
 
 def _level_owner(levels: list[np.ndarray], n: int, w: int) -> np.ndarray:

@@ -1,6 +1,11 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -231,3 +236,57 @@ class TestObservability:
         names = [e["name"] for e in doc["traceEvents"]]
         assert any(n.endswith("16-nodes") for n in names)
         assert "allreduce" in names and "compute" in names
+
+
+class TestInterruptFlush:
+    def test_sigterm_mid_solve_flushes_partial_exports(self, tmp_path):
+        """Regression: killing a solve mid-run must still write the partial
+        Prometheus snapshot and OTLP trace and exit 130, and the live
+        /metrics endpoint must serve solver series while the solve runs."""
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        prom = tmp_path / "partial.prom"
+        otlp = tmp_path / "partial-trace.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        env["PYTHONUNBUFFERED"] = "1"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "solve",
+                "--scale", "0.06", "--max-steps", "500",
+                "--metrics-serve", "0",
+                "--metrics-prom", str(prom),
+                "--trace-otlp", str(otlp),
+            ],
+            cwd=repo_root, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            # the banner proves _ObsSession is up (handlers installed)
+            url = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if line.startswith("live metrics:"):
+                    url = line.split()[-1]
+                    break
+            assert url, "solve never announced its /metrics endpoint"
+            from repro.obs.live.top import fetch_metrics
+
+            samples = fetch_metrics(url, timeout=10.0)
+            label = (("proc", "solver"),)
+            assert samples[("repro_live_up", label)] == 1.0
+            time.sleep(1.0)  # let a few Newton steps land in the trace
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130
+        assert "interrupted — partial telemetry exports flushed" in err
+        # both exports exist and are valid despite the early death
+        text = prom.read_text()
+        assert 'repro_live_residual{proc="solver"}' in text
+        doc = json.loads(otlp.read_text())
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert any(s["name"] == "solve" for s in spans)
