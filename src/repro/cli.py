@@ -147,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("solve", help="steady flow solve")
     add_solve_args(sp)
+    sp.add_argument("--json", action="store_true",
+                    help="also print a machine-readable result line "
+                         "(full-precision forces; what `repro serve` "
+                         "responses are compared against)")
 
     sp = sub.add_parser(
         "profile",
@@ -171,6 +175,68 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("partition", help="partition quality study")
     add_mesh_args(sp)
     sp.add_argument("--parts", type=int, default=20)
+
+    sp = sub.add_parser(
+        "serve",
+        help="persistent warm-fleet solver daemon on a local Unix socket",
+    )
+    sp.add_argument("--socket", required=True, metavar="PATH",
+                    help="Unix socket path to listen on")
+    sp.add_argument("--max-queue", type=int, default=8,
+                    help="admission-control queue depth "
+                         "(requests beyond it are rejected with 503)")
+    sp.add_argument("--deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="default per-request deadline while queued "
+                         "(expired jobs are rejected with 408)")
+    sp.add_argument("--max-families", type=int, default=4,
+                    help="warm mesh families kept resident (LRU beyond)")
+    sp.add_argument("--solver-threads", type=int, default=1,
+                    help="concurrent solver threads (distinct families "
+                         "solve in parallel; one family solves serially)")
+    add_backend_args(sp)
+    sp.add_argument("--metrics-serve", type=int, default=None,
+                    metavar="PORT",
+                    help="serve live Prometheus text on "
+                         "http://127.0.0.1:PORT/metrics (0 = free port)")
+
+    sp = sub.add_parser(
+        "submit",
+        help="send solve requests to a running `repro serve` daemon",
+    )
+    sp.add_argument("--socket", required=True, metavar="PATH",
+                    help="Unix socket of the daemon")
+    add_mesh_args(sp)
+    sp.add_argument("--ilu", type=int, default=1, help="ILU fill level")
+    sp.add_argument("--subdomains", type=int, default=1)
+    sp.add_argument("--dist-ranks", type=int, default=0, metavar="N",
+                    help="solve on N forked rank processes in the daemon")
+    sp.add_argument("--dissipation", choices=["rusanov", "roe"],
+                    default="rusanov")
+    sp.add_argument("--aoa", type=float, default=3.0)
+    sp.add_argument("--beta", type=float, default=4.0,
+                    help="artificial compressibility (the Mach analogue)")
+    sp.add_argument("--max-steps", type=int, default=100)
+    sp.add_argument("--rtol", type=float, default=1e-6)
+    sp.add_argument("--sweep", action="append", default=[],
+                    metavar="FIELD=V1,V2,...",
+                    help="fan a parameter grid, e.g. --sweep aoa=0,2,4 "
+                         "--sweep beta=2,4 (repeatable); all combinations "
+                         "run as one batch over one warm family")
+    sp.add_argument("--no-batch", action="store_true",
+                    help="send sweep cases as individual solve requests "
+                         "instead of one batch")
+    sp.add_argument("--deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-request queueing deadline")
+    sp.add_argument("--timeout", type=float, default=600.0,
+                    help="client socket timeout in seconds")
+    sp.add_argument("--json", action="store_true",
+                    help="print the raw response JSON")
+    sp.add_argument("--op",
+                    choices=["solve", "ping", "stats", "shutdown"],
+                    default="solve",
+                    help="request type (solve fans --sweep into a batch)")
 
     sp = sub.add_parser("top", help="live view of a running solve's telemetry")
     sp.add_argument("--url", metavar="URL",
@@ -214,11 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
              "(levels vs p2p synchronization) -> BENCH_trsv_scaling.json"
     )
     sp.add_argument(
-        "--kernel", choices=["flux", "trsv", "scatter"], default="flux",
+        "--kernel", choices=["flux", "trsv", "scatter", "serve"],
+        default="flux",
         help="'scatter' benches the precompiled gather-scatter plans "
              "against the np.add.at reference across mesh sizes -> "
              "BENCH_scatter_kernels.json; 'trsv' is an alias for "
-             "--sparse-backend process"
+             "--sparse-backend process; 'serve' benches warm batched "
+             "daemon throughput against cold one-shot `repro solve` "
+             "runs -> BENCH_serve_throughput.json"
     )
     sp.add_argument(
         "--engine", choices=["csr", "bincount", "addat"], default=None,
@@ -235,6 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max |parallel - serial| residual deviation")
     sp.add_argument("--gate-slowdown", type=float, default=1.25,
                     help="max owner-writes wall time as a multiple of serial")
+    sp.add_argument("--gate-amortization", type=float, default=3.0,
+                    help="min warm-batched throughput as a multiple of the "
+                         "cold per-case throughput (--kernel serve gate)")
+    sp.add_argument("--cold-mode", choices=["cli", "inproc"], default="cli",
+                    help="--kernel serve cold baseline: one-shot `repro "
+                         "solve` subprocesses or in-process family builds")
     sp.add_argument("--history", metavar="PATH",
                     help="JSONL trend file: append this run and, with "
                          "--gate, compare against the rolling median of "
@@ -249,26 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_mesh(args, scale: float | None = None):
-    from .mesh import mesh_c_prime, mesh_d_prime, wing_mesh
+    from .mesh import dataset_mesh
 
-    scale = args.scale if scale is None else scale
-    if args.dataset == "mesh-c":
-        mesh = mesh_c_prime(scale=scale, seed=args.seed)
-    elif args.dataset == "mesh-d":
-        mesh = mesh_d_prime(scale=scale, seed=args.seed)
-    else:
-        f = max(0.2, float(scale) ** (1.0 / 3.0))
-        mesh = wing_mesh(
-            n_around=max(12, int(48 * f)),
-            n_radial=max(5, int(16 * f)),
-            n_span=max(4, int(12 * f)),
-            seed=args.seed,
-        )
-    if getattr(args, "ordering", "natural") == "rcm":
-        from .ordering import rcm_relabel
-
-        mesh = rcm_relabel(mesh)
-    return mesh
+    return dataset_mesh(
+        args.dataset,
+        scale=args.scale if scale is None else scale,
+        seed=args.seed,
+        ordering=getattr(args, "ordering", "natural"),
+    )
 
 
 def cmd_mesh_info(args) -> int:
@@ -555,6 +618,19 @@ def cmd_solve(args) -> int:
             )
             forces = integrate_forces(app.field, s.q, app.flow)
             print(f"CL={forces.cl:.4f} CD={forces.cd:.4f}")
+            if getattr(args, "json", False):
+                import json
+
+                print(json.dumps({
+                    "converged": bool(s.converged),
+                    "steps": int(s.steps),
+                    "krylov_iterations": int(s.linear_iterations),
+                    "initial_residual": float(s.initial_residual),
+                    "final_residual": float(s.final_residual),
+                    "forces": {
+                        "cl": float(forces.cl), "cd": float(forces.cd)
+                    },
+                }))
             if getattr(res, "dist", None) is not None:
                 _print_dist_breakdown(res.dist)
             if res.profile:
@@ -942,6 +1018,78 @@ def _cmd_bench_report(args) -> int:
     return 0
 
 
+def _bench_serve(args) -> int:
+    """--kernel serve: warm batched daemon throughput vs cold one-shots."""
+    from .perf import format_table
+    from .serve.bench import (
+        rolling_serve_gate_failures,
+        run_serve_throughput,
+        serve_gate_failures,
+    )
+    from .smp.bench import append_history, load_history, write_bench_json
+
+    if args.out == "BENCH_flux_scaling.json":  # only the untouched default
+        args.out = "BENCH_serve_throughput.json"
+    batch_sizes = (2, 4) if args.quick else (2, 4, 8)
+    doc = run_serve_throughput(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        ilu=args.ilu,
+        batch_sizes=batch_sizes,
+        cold_mode=args.cold_mode,
+    )
+    write_bench_json(doc, args.out)
+
+    rows = [
+        [
+            r["strategy"], str(r["workers"]),
+            f"{1e3 * r['wall_seconds']:.1f}",
+            f"{r['cases_per_second']:.2f}",
+            f"{r['amortization_x']:.2f}x",
+            f"{r['max_abs_dev']:.1e}",
+        ]
+        for r in doc["results"]
+    ]
+    print(format_table(
+        ["strategy", "batch", "ms/case", "cases/s", "vs cold", "max dev"],
+        rows,
+        title=f"{args.dataset}: serve throughput (cold {args.cold_mode} "
+              f"one-shot {1e3 * doc['serial']['wall_seconds']:.0f} ms/case, "
+              f"family build {1e3 * doc['family_build_seconds']:.0f} ms)",
+    ))
+    print(f"wrote {args.out}")
+
+    history = load_history(args.history) if args.history else []
+    if args.gate:
+        if args.history:
+            failures = rolling_serve_gate_failures(
+                doc, history, min_amortization=args.gate_amortization,
+                max_regression=args.gate_slowdown, tol=args.gate_tol,
+            )
+            gate_kind = (
+                "amortization floor + rolling-median trend" if history
+                else "amortization floor (no comparable history yet)"
+            )
+        else:
+            failures = serve_gate_failures(
+                doc, tol=args.gate_tol,
+                min_amortization=args.gate_amortization,
+            )
+            gate_kind = "amortization floor"
+        for msg in failures:
+            print(f"GATE FAIL: {msg}")
+        if failures:
+            return 1
+        print(f"GATE OK: cold-equivalent forces + warm amortization "
+              f"({gate_kind})")
+    if args.history:
+        append_history(doc, args.history)
+        print(f"appended trend record to {args.history} "
+              f"({len(history) + 1} total)")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .perf import format_table
     from .smp.bench import (
@@ -973,6 +1121,9 @@ def cmd_bench(args) -> int:
 
     if args.kernel == "scatter":
         return _bench_scatter(args, repeats)
+
+    if args.kernel == "serve":
+        return _bench_serve(args)
 
     mesh = _make_mesh(args)
     if args.sparse_backend == "process" or args.kernel == "trsv":
@@ -1082,6 +1233,142 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the warm-fleet solver daemon until SIGTERM/SIGINT (exit 0)."""
+    from .serve import ExecutionConfig, ServeDaemon
+
+    execution = ExecutionConfig(
+        edge_backend=args.backend,
+        workers=args.workers,
+        edge_strategy=args.edge_strategy,
+        partitioner=args.partitioner,
+        sparse_backend=args.sparse_backend,
+        sparse_strategy=args.sparse_strategy,
+        sparse_workers=args.sparse_workers or args.workers,
+    )
+    daemon = ServeDaemon(
+        args.socket,
+        execution=execution,
+        max_families=args.max_families,
+        max_queue=args.max_queue,
+        default_deadline_s=args.deadline,
+        solver_threads=args.solver_threads,
+        metrics_port=args.metrics_serve,
+    )
+    return daemon.run()
+
+
+def _parse_sweep(entries: list[str]) -> dict[str, list]:
+    """``["aoa=0,2,4", "beta=2,4"]`` -> ``{"aoa": [...], "beta": [...]}``."""
+    sweep: dict[str, list] = {}
+    for entry in entries:
+        name, _, raw = entry.partition("=")
+        name = name.strip()
+        if not _ or not name or not raw:
+            raise SystemExit(
+                f"repro submit: bad --sweep {entry!r} "
+                "(expected FIELD=V1,V2,...)"
+            )
+        values: list = []
+        for tok in raw.split(","):
+            tok = tok.strip()
+            if name == "dissipation":
+                values.append(tok)
+            elif name == "max_steps":
+                values.append(int(tok))
+            else:
+                values.append(float(tok))
+        sweep[name] = values
+    return sweep
+
+
+def cmd_submit(args) -> int:
+    """Client of a running daemon; fans --sweep grids into one batch."""
+    import json
+
+    from .serve import ServeClient, ServeError, sweep_grid
+    from .serve.protocol import ProtocolError
+
+    family = {
+        "dataset": args.dataset, "scale": args.scale, "seed": args.seed,
+        "ordering": args.ordering, "ilu": args.ilu,
+        "subdomains": args.subdomains, "dist_ranks": args.dist_ranks,
+    }
+    base = {
+        "aoa": args.aoa, "beta": args.beta,
+        "dissipation": args.dissipation,
+        "max_steps": args.max_steps, "rtol": args.rtol,
+    }
+    try:
+        cases = [c.to_dict() for c in sweep_grid(base, _parse_sweep(args.sweep))]
+    except ProtocolError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(args.socket, timeout=args.timeout) as client:
+            if args.op == "ping":
+                print(json.dumps(client.ping()))
+                return 0
+            if args.op == "stats":
+                print(json.dumps(client.stats(), indent=2))
+                return 0
+            if args.op == "shutdown":
+                print(json.dumps(client.shutdown()))
+                return 0
+            if len(cases) > 1 and not args.no_batch:
+                responses = [client.batch(
+                    family=family, cases=cases, deadline_s=args.deadline
+                )]
+            else:
+                responses = [
+                    client.solve(
+                        family=family, case=c, deadline_s=args.deadline
+                    )
+                    for c in cases
+                ]
+    except ServeError as exc:
+        print(f"repro submit: daemon rejected the request: {exc}",
+              file=sys.stderr)
+        return 1
+    except (OSError, ProtocolError) as exc:
+        print(f"repro submit: cannot reach daemon on {args.socket}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    if args.json:
+        for resp in responses:
+            print(json.dumps(resp))
+        return 0
+    from .perf import format_table
+
+    results = [
+        r
+        for resp in responses
+        for r in (resp["results"] if "results" in resp else [resp["result"]])
+    ]
+    rows = [
+        [
+            r["case"].get("tag") or f"aoa={r['case']['aoa']:g}",
+            "yes" if r["converged"] else "no",
+            str(r["steps"]),
+            f"{r['final_residual']:.3e}",
+            f"{r['forces']['cl']:.6f}",
+            f"{r['forces']['cd']:.6f}",
+            f"{1e3 * r['wall_seconds']:.0f}",
+        ]
+        for r in results
+    ]
+    first = responses[0]
+    print(format_table(
+        ["case", "conv", "steps", "residual", "CL", "CD", "ms"],
+        rows,
+        title=f"{args.dataset}: {len(results)} case(s) via {args.socket} "
+              f"(plan cache {first['cache']}, "
+              f"queue {first['span']['queue_seconds'] * 1e3:.0f} ms)",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "mesh-info": cmd_mesh_info,
     "solve": cmd_solve,
@@ -1091,6 +1378,8 @@ _COMMANDS = {
     "partition": cmd_partition,
     "bench": cmd_bench,
     "top": cmd_top,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 

@@ -81,6 +81,7 @@ def distributed_solve(
     allreduce_algo: str = "flat",
     timeout: float = 300.0,
     telemetry: bool = True,
+    decomp: DomainDecomposition | None = None,
 ) -> DistSolveResult:
     """Steady solve on ``n_ranks`` forked rank processes.
 
@@ -88,18 +89,26 @@ def distributed_solve(
     to the outer tolerance (the Newton fixed point does not depend on the
     decomposition; only summation order differs along the way).  Spans and
     measured communication land in the active tracer/metrics.
+
+    ``decomp`` short-circuits the partition + decomposition build with a
+    prebuilt :class:`DomainDecomposition` over the same mesh — the serve
+    daemon's warm cache passes one so repeated distributed requests on a
+    mesh family pay the multilevel partition exactly once.
     """
     opts = opts or SolverOptions()
     nv = field.n_vertices
-    if labels is None:
-        if n_ranks > 1:
-            from ...partition.multilevel import partition_graph
+    if decomp is None:
+        if labels is None:
+            if n_ranks > 1:
+                from ...partition.multilevel import partition_graph
 
-            labels = partition_graph(field.mesh.edges, nv, n_ranks, seed=seed)
-        else:
-            labels = np.zeros(nv, dtype=np.int64)
-    labels = np.asarray(labels)
-    decomp = DomainDecomposition(field.mesh.edges, labels)
+                labels = partition_graph(
+                    field.mesh.edges, nv, n_ranks, seed=seed
+                )
+            else:
+                labels = np.zeros(nv, dtype=np.int64)
+        labels = np.asarray(labels)
+        decomp = DomainDecomposition(field.mesh.edges, labels)
     datas = build_rank_data(field, config, decomp, q0=q0)
 
     def program(comm):

@@ -11,6 +11,7 @@ from .core import (
 )
 from .generator import (
     box_mesh,
+    dataset_mesh,
     delaunay_cloud_mesh,
     mesh_c_prime,
     mesh_d_prime,
@@ -29,6 +30,7 @@ __all__ = [
     "extract_edges",
     "tet_volumes",
     "box_mesh",
+    "dataset_mesh",
     "delaunay_cloud_mesh",
     "mesh_c_prime",
     "mesh_d_prime",

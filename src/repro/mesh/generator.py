@@ -411,3 +411,39 @@ def mesh_d_prime(scale: float = 1.0, seed: int = 11) -> UnstructuredMesh:
         seed=seed,
         name=f"mesh-d-prime(x{scale:g})",
     )
+
+
+def dataset_mesh(
+    dataset: str,
+    scale: float = 0.12,
+    seed: int = 7,
+    ordering: str = "natural",
+) -> UnstructuredMesh:
+    """Named-dataset factory shared by the CLI and the serve daemon.
+
+    ``dataset`` is ``mesh-c`` / ``mesh-d`` / ``wing``; ``ordering`` is
+    ``natural`` or ``rcm``.  Both entry points must build bit-identical
+    meshes for the same spec — the serve smoke test compares daemon-solved
+    forces against a one-shot ``repro solve`` at 1e-10.
+    """
+    if dataset == "mesh-c":
+        mesh = mesh_c_prime(scale=scale, seed=seed)
+    elif dataset == "mesh-d":
+        mesh = mesh_d_prime(scale=scale, seed=seed)
+    elif dataset == "wing":
+        f = max(0.2, float(scale) ** (1.0 / 3.0))
+        mesh = wing_mesh(
+            n_around=max(12, int(48 * f)),
+            n_radial=max(5, int(16 * f)),
+            n_span=max(4, int(12 * f)),
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+    if ordering == "rcm":
+        from ..ordering import rcm_relabel
+
+        mesh = rcm_relabel(mesh)
+    elif ordering != "natural":
+        raise ValueError(f"unknown ordering {ordering!r}")
+    return mesh

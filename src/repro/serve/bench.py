@@ -1,0 +1,276 @@
+"""Cold-vs-warm serve throughput benchmark (``BENCH_serve_throughput.json``).
+
+Measures the daemon's reason to exist: the setup-vs-solve cost split.  The
+*cold* baseline prices the real one-shot path per case — a fresh
+``repro solve`` CLI process paying interpreter start, imports, mesh build,
+gather–scatter plan compile, Jacobian pattern and Schwarz/ILU symbolics
+every time (``cold_mode="cli"``; ``"inproc"`` restricts the baseline to a
+fresh in-process family per case, for subprocess-free test runs).  The
+*warm batched* rows price the same cases through one resident
+:class:`~repro.serve.cache.WarmFamily` via
+:func:`~repro.serve.batcher.solve_cases`, where the per-case cost is state
+arrays and Newton steps only.  The ratio is the amortization factor the CI
+gate enforces (warm batched cases/sec must stay >= ``min_amortization``x
+cold).
+
+Document shape follows the flux/TRSV/scatter benches (``serial`` reference
+wall + ``results`` strategy rows + explicit ``kind``) so the shared JSONL
+history and rolling-median tooling in :mod:`repro.smp.bench` apply as-is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from .batcher import solve_cases
+from .cache import ExecutionConfig, WarmFamily
+from .protocol import CaseSpec, FamilySpec
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "run_serve_throughput",
+    "serve_gate_failures",
+    "rolling_serve_gate_failures",
+]
+
+SERVE_SCHEMA = "repro.bench.serve_throughput/v1"
+
+
+def _case_grid(n: int, max_steps: int, rtol: float) -> list[CaseSpec]:
+    """n cases sweeping angle of attack over [0, 4] degrees."""
+    aoas = [4.0 * i / max(1, n - 1) for i in range(n)]
+    return [
+        CaseSpec(aoa=a, max_steps=max_steps, rtol=rtol, tag=f"aoa={a:g}")
+        for a in aoas
+    ]
+
+
+def _cold_cli_case(spec: FamilySpec, case: CaseSpec) -> tuple[float, tuple]:
+    """One cold ``repro solve`` subprocess: (wall seconds, (cl, cd)).
+
+    Bootstraps ``sys.path`` explicitly so the child resolves the same
+    ``repro`` package as the parent regardless of install mode.
+    """
+    pkg_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    ))
+    code = (
+        f"import sys; sys.path.insert(0, {pkg_root!r}); "
+        "from repro.cli import main; sys.exit(main(sys.argv[1:]))"
+    )
+    argv = [
+        sys.executable, "-c", code, "solve",
+        "--dataset", spec.dataset, "--scale", str(spec.scale),
+        "--seed", str(spec.seed), "--ordering", spec.ordering,
+        "--ilu", str(spec.ilu), "--subdomains", str(spec.subdomains),
+        "--dissipation", case.dissipation, "--aoa", str(case.aoa),
+        "--max-steps", str(case.max_steps), "--rtol", str(case.rtol),
+        "--json",
+    ]
+    t0 = time.perf_counter()
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    wall = time.perf_counter() - t0
+    if proc.returncode not in (0, 1):  # 1 = unconverged, still a result
+        raise RuntimeError(
+            f"cold repro solve failed ({proc.returncode}): "
+            f"{proc.stderr.strip()[-500:]}"
+        )
+    result = None
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith("{"):
+            result = json.loads(line)
+    if result is None:
+        raise RuntimeError("cold repro solve emitted no --json result line")
+    return wall, (result["forces"]["cl"], result["forces"]["cd"])
+
+
+def run_serve_throughput(
+    dataset: str = "wing",
+    scale: float = 0.03,
+    seed: int = 7,
+    ilu: int = 0,
+    batch_sizes: tuple[int, ...] = (2, 4),
+    max_steps: int = 3,
+    rtol: float = 1e-3,
+    execution: ExecutionConfig | None = None,
+    cold_mode: str = "cli",
+) -> dict:
+    """Cold per-case vs warm batched throughput document (see module doc).
+
+    Cold: every case pays the full one-shot path — a ``repro solve``
+    subprocess (``cold_mode="cli"``) or a fresh in-process family
+    (``"inproc"``) — and tears it down.  Warm: one family is built once,
+    then each batch size in ``batch_sizes`` runs through it; forces must
+    match the cold run bitwise (``max_abs_dev``) — batching is
+    amortization, never approximation.
+    """
+    if cold_mode not in ("cli", "inproc"):
+        raise ValueError(f"unknown cold_mode {cold_mode!r}")
+    execution = execution or ExecutionConfig()
+    spec = FamilySpec(
+        dataset=dataset, scale=scale, seed=seed, ilu=ilu
+    )
+    n_cases = max(batch_sizes)
+    cases = _case_grid(n_cases, max_steps, rtol)
+
+    # ---- cold reference: full one-shot path per case --------------------
+    cold_walls: list[float] = []
+    cold_forces: dict[str, tuple[float, float]] = {}
+    for case in cases:
+        if cold_mode == "cli":
+            wall, forces = _cold_cli_case(spec, case)
+        else:
+            t0 = time.perf_counter()
+            family = WarmFamily(spec, execution)
+            try:
+                result = solve_cases(family, [case])[0]
+            finally:
+                family.close()
+            wall = time.perf_counter() - t0
+            forces = (result.cl, result.cd)
+        cold_walls.append(wall)
+        cold_forces[case.tag] = forces
+    cold_per_case = sum(cold_walls) / len(cold_walls)
+
+    # ---- warm batched: one family, k cases ------------------------------
+    family = WarmFamily(spec, execution)
+    rows: list[dict] = []
+    try:
+        for batch in sorted(batch_sizes):
+            sub = cases[:batch]
+            t0 = time.perf_counter()
+            results = solve_cases(family, sub)
+            wall = time.perf_counter() - t0
+            per_case = wall / batch
+            dev = max(
+                max(
+                    abs(r.cl - cold_forces[c.tag][0]),
+                    abs(r.cd - cold_forces[c.tag][1]),
+                )
+                for r, c in zip(results, sub)
+            )
+            rows.append({
+                "strategy": "warm-batched",
+                "workers": batch,  # batch size, in the shared history shape
+                "wall_seconds": per_case,
+                "batch_wall_seconds": wall,
+                "cases_per_second": batch / wall if wall > 0 else 0.0,
+                "amortization_x": cold_per_case / per_case
+                if per_case > 0 else 0.0,
+                "max_abs_dev": dev,
+            })
+    finally:
+        family.close()
+
+    return {
+        "schema": SERVE_SCHEMA,
+        "kind": "serve",
+        "dataset": dataset,
+        "scale": scale,
+        "seed": seed,
+        "fill_level": ilu,
+        "cold_mode": cold_mode,
+        "n_cases": n_cases,
+        "max_steps": max_steps,
+        "rtol": rtol,
+        "family_build_seconds": family.build_seconds,
+        "serial": {
+            # cold one-shot per-case wall: the reference every gate and the
+            # shared history format compare against
+            "wall_seconds": cold_per_case,
+            "cases_per_second": 1.0 / cold_per_case
+            if cold_per_case > 0 else 0.0,
+            "walls": cold_walls,
+        },
+        "results": rows,
+    }
+
+
+def _gate_row(doc: dict, strategy: str) -> dict | None:
+    rows = [r for r in doc["results"] if r["strategy"] == strategy]
+    return max(rows, key=lambda r: r["workers"]) if rows else None
+
+
+def serve_gate_failures(
+    doc: dict,
+    tol: float = 1e-12,
+    min_amortization: float = 3.0,
+    gate_strategy: str = "warm-batched",
+) -> list[str]:
+    """CI gate for the serve throughput bench.  Returns failure messages.
+
+    (1) Every warm batched case reproduced the cold one-shot forces within
+    ``tol`` (the amortization-never-approximation contract); (2) the warm
+    batched throughput at the largest batch is at least ``min_amortization``
+    times the cold per-case throughput — the warm cache must actually pay.
+    """
+    failures = [
+        f"{r['strategy']} @ batch {r['workers']} deviates from the cold "
+        f"one-shot forces by {r['max_abs_dev']:.3e} (tolerance {tol:.0e})"
+        for r in doc["results"]
+        if not (r["max_abs_dev"] <= tol)
+    ]
+    row = _gate_row(doc, gate_strategy)
+    if row is None:
+        failures.append(f"gate strategy {gate_strategy!r} was not measured")
+        return failures
+    amort = (
+        doc["serial"]["wall_seconds"] / row["wall_seconds"]
+        if row["wall_seconds"] > 0 else 0.0
+    )
+    if amort < min_amortization:
+        failures.append(
+            f"warm batched throughput is only {amort:.2f}x cold per-case "
+            f"(gate {min_amortization:.2f}x): warm "
+            f"{1e3 * row['wall_seconds']:.1f} ms/case vs cold "
+            f"{1e3 * doc['serial']['wall_seconds']:.1f} ms/case"
+        )
+    return failures
+
+
+def rolling_serve_gate_failures(
+    doc: dict,
+    history: list[dict],
+    window: int = 5,
+    min_amortization: float = 3.0,
+    max_regression: float = 1.25,
+    tol: float = 1e-12,
+    gate_strategy: str = "warm-batched",
+) -> list[str]:
+    """Trend-aware serve gate.
+
+    The fixed amortization floor of :func:`serve_gate_failures` always
+    applies; on top, when comparable history exists (same
+    kind/dataset/scale/seed/fill via the shared JSONL format), the warm
+    per-case wall at the largest batch must not exceed ``max_regression``
+    times the rolling median of the last ``window`` runs.
+    """
+    from ..smp.bench import _history_key
+    import numpy as np
+
+    failures = serve_gate_failures(
+        doc, tol=tol, min_amortization=min_amortization,
+        gate_strategy=gate_strategy,
+    )
+    row = _gate_row(doc, gate_strategy)
+    if row is None:
+        return failures
+    cell = f"{row['strategy']}@{row['workers']}"
+    prior = [h for h in history if _history_key(h) == _history_key(doc)]
+    walls = [
+        h["walls"][cell] for h in prior[-window:] if cell in h.get("walls", {})
+    ]
+    if walls:
+        median = float(np.median(walls))
+        if row["wall_seconds"] > max_regression * median:
+            failures.append(
+                f"{cell} wall {1e3 * row['wall_seconds']:.2f} ms/case "
+                f"exceeds {max_regression:.2f}x the rolling median of the "
+                f"last {len(walls)} run(s) ({1e3 * median:.2f} ms/case)"
+            )
+    return failures

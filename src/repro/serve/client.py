@@ -1,0 +1,122 @@
+"""Client side of the serve protocol: ``ServeClient`` + socket helpers.
+
+Thin synchronous wrapper used by ``repro submit``, the CI smoke job and the
+tests: connect, frame a request, block for the framed response.  One client
+holds one connection; requests on it are sequential (the daemon pipelines
+across *connections*, not within one).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+
+from .protocol import ProtocolError, read_frame, write_frame
+
+__all__ = ["ServeClient", "ServeError", "wait_for_socket"]
+
+
+class ServeError(RuntimeError):
+    """Daemon answered with an error envelope; carries the HTTP-like code."""
+
+    def __init__(self, code: int, message: str, response: dict | None = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.response = response or {}
+
+
+def wait_for_socket(path: str, timeout: float = 30.0) -> None:
+    """Block until a daemon accepts connections on ``path`` (ping works)."""
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            try:
+                with ServeClient(path, timeout=2.0) as client:
+                    client.ping()
+                return
+            except (OSError, ProtocolError, ServeError) as exc:
+                last = exc
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"no daemon on {path} after {timeout:.0f}s"
+        + (f" (last error: {last})" if last else "")
+    )
+
+
+class ServeClient:
+    """One connection to a ``repro serve`` daemon."""
+
+    def __init__(self, socket_path: str, timeout: float | None = None):
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request object; return the daemon's ``ok`` response.
+
+        Raises :class:`ServeError` on an error envelope, OSError on
+        transport failure, ProtocolError on an unframeable reply.
+        """
+        write_frame(self._sock, payload)
+        resp = read_frame(self._sock)
+        if resp is None:
+            raise ProtocolError("daemon closed the connection mid-request")
+        if not resp.get("ok"):
+            err = resp.get("error") or {}
+            raise ServeError(
+                int(err.get("code", 500)),
+                str(err.get("message", "unknown error")),
+                resp,
+            )
+        return resp
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def solve(
+        self,
+        family: dict | None = None,
+        case: dict | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        req = {"op": "solve", "family": family or {}, "case": case or {}}
+        if deadline_s is not None:
+            req["deadline_s"] = deadline_s
+        return self.request(req)
+
+    def batch(
+        self,
+        family: dict | None = None,
+        cases: list[dict] | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        req = {"op": "batch", "family": family or {}, "cases": cases or [{}]}
+        if deadline_s is not None:
+            req["deadline_s"] = deadline_s
+        return self.request(req)
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

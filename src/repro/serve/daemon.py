@@ -1,0 +1,464 @@
+"""``repro serve``: the warm-fleet solver daemon.
+
+One process owns every warm artifact (see :mod:`repro.serve.cache`) and
+serves solve requests over a local Unix-domain socket using the framing in
+:mod:`repro.serve.protocol`.  Architecture::
+
+    accept thread ──> connection threads ──> AdmissionQueue ──> solver
+         │                  │    (submit; 503 when over depth)   threads
+      listener          read/write frames                           │
+                                                             WarmCache
+                                                      (families, fleets)
+
+Connection threads never solve: they parse, admit, block on the job's
+completion event and write the response (so a slow or disconnecting client
+cannot stall the solver).  Solver threads own the warm cache; one family
+solves one job at a time (fleets are single-caller), while distinct
+families can solve concurrently when ``solver_threads > 1``.
+
+Observability: the daemon publishes a ``serve`` telemetry row (queue depth,
+in-flight, cache hits/misses, batch cases, busy seconds) into the live
+plane, runs the standard aggregator so ``--metrics-serve`` exposes
+``live_serve_*`` gauges to ``repro top``, traces each request as a
+``serve.request`` span, and installs the flight recorder — a crash dumps
+the last seconds of queue telemetry like any other fleet death.
+
+Shutdown: SIGTERM/SIGINT stop admission, answer every queued-but-unstarted
+job with a 503, let in-flight solves finish, close every fleet and shared
+segment, unlink the socket and exit 0 — leak-free teardown is asserted by
+the ``serve-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+from .batcher import solve_cases
+from .cache import ExecutionConfig, WarmCache
+from .protocol import (
+    PROTOCOL_VERSION,
+    FamilySpec,
+    ProtocolError,
+    error_response,
+    ok_response,
+    parse_cases,
+    read_frame,
+    write_frame,
+)
+from .queue import AdmissionQueue, Job, QueueClosed, QueueFull
+
+__all__ = ["SERVE_SLOTS", "ServeDaemon"]
+
+#: Telemetry slots of the daemon's ``serve`` plane row.
+SERVE_SLOTS = (
+    "queue_depth", "in_flight", "requests", "completed", "rejected",
+    "errors", "cache_hits", "cache_misses", "batch_cases", "busy_seconds",
+)
+
+
+class ServeDaemon:
+    """Persistent solver daemon on a Unix socket (see module docstring)."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        execution: ExecutionConfig | None = None,
+        max_families: int = 4,
+        max_queue: int = 8,
+        default_deadline_s: float | None = None,
+        solver_threads: int = 1,
+        telemetry: bool = True,
+        metrics_port: int | None = None,
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.cache = WarmCache(execution, max_families=max_families)
+        self.queue = AdmissionQueue(max_depth=max_queue)
+        self.default_deadline_s = default_deadline_s
+        self.solver_threads = max(1, int(solver_threads))
+        self.metrics_port = metrics_port
+        self.started_at = time.monotonic()
+        self.in_flight = 0
+        self.completed = 0
+        self.errors = 0
+        self.rejected = 0
+        self._stats_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self._shut_down = False
+
+        from ..obs import MetricsRegistry, Tracer
+
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self._plane = None
+        self._writer = None
+        self._writer_lock = threading.Lock()
+        self._agg = None
+        self._server = None
+        if telemetry:
+            from ..obs.live import TelemetryAggregator, TelemetryPlane
+
+            self._plane = TelemetryPlane({"serve": SERVE_SLOTS}, shared=False)
+            self._writer = self._plane.writer("serve")
+            self._writer.hello()
+            self._agg = TelemetryAggregator(self.metrics)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _telem(self, adds: dict | None = None, **sets: float) -> None:
+        if self._writer is None:
+            return
+        with self._writer_lock:
+            if adds:
+                self._writer.add(**adds)
+            if sets:
+                self._writer.update(**sets)
+
+    def _gauge_sync(self) -> None:
+        self._telem(
+            queue_depth=float(self.queue.depth),
+            in_flight=float(self.in_flight),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind, listen, and start accept + solver threads."""
+        path = self.socket_path
+        if os.path.exists(path):
+            # a previous daemon may have died without unlinking; only a
+            # *live* listener makes the path contested
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(0.5)
+                probe.connect(path)
+                probe.close()
+                raise RuntimeError(
+                    f"another daemon is already listening on {path}"
+                )
+            except (ConnectionRefusedError, socket.timeout, FileNotFoundError,
+                    OSError):
+                probe.close()
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(16)
+        self._listener.settimeout(0.5)
+        if self._agg is not None:
+            self._agg.start()
+        if self.metrics_port is not None:
+            from ..obs.live import MetricsServer, prometheus_text
+
+            self._server = MetricsServer(
+                lambda: prometheus_text(self.metrics), port=self.metrics_port
+            )
+            self._server.start()
+        for i in range(self.solver_threads):
+            t = threading.Thread(
+                target=self._solver_loop, name=f"serve-solver-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+        t = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
+
+    def run(self) -> int:
+        """Start, serve until signalled, tear down; returns the exit code.
+
+        SIGTERM and SIGINT both request a graceful stop; the flight
+        recorder is installed so a crash still dumps telemetry.
+        """
+        from ..obs.live import install_flight_recorder
+        from ..obs.live.recorder import install_signal_dump
+
+        install_flight_recorder()
+        try:
+            install_signal_dump()
+            signal.signal(signal.SIGTERM, lambda *_: self.request_stop())
+            signal.signal(signal.SIGINT, lambda *_: self.request_stop())
+        except (ValueError, OSError, AttributeError):
+            pass  # non-main thread or exotic platform
+        self.start()
+        if self._server is not None:
+            print(f"serve: live metrics at {self._server.url}", flush=True)
+        print(
+            f"serve: listening on {self.socket_path} "
+            f"(pid {os.getpid()}, queue depth {self.queue.max_depth}, "
+            f"max families {self.cache.max_families})",
+            flush=True,
+        )
+        self._stop.wait()
+        self.shutdown()
+        print("serve: clean shutdown", flush=True)
+        return 0
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def shutdown(self) -> None:
+        """Graceful teardown (idempotent): see module docstring."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        # refuse new admissions; answer never-started jobs with 503
+        for job in self.queue.close():
+            job.finish(error_response(
+                503, "daemon shutting down", id=job.id
+            ))
+        for t in self._threads:
+            t.join(timeout=120.0)
+        with self._conns_lock:
+            conns = list(self._conns)
+        for c in conns:
+            try:
+                c.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                c.close()
+            except OSError:
+                pass
+        self.cache.close()
+        if self._server is not None:
+            self._server.stop()
+        if self._agg is not None:
+            self._agg.stop()
+        if self._plane is not None:
+            self._plane.close()
+        try:
+            os.unlink(self.socket_path)
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # accept / connection side
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._conns_lock:
+                self._conns.add(conn)
+            t = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="serve-conn", daemon=True,
+            )
+            t.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    req = read_frame(conn)
+                except ProtocolError as exc:
+                    # framing is unreliable after a malformed frame: answer
+                    # 400 and close rather than resynchronize heuristically
+                    self._count_error()
+                    try:
+                        write_frame(conn, error_response(400, str(exc)))
+                    except OSError:
+                        pass
+                    return
+                except OSError:
+                    return
+                if req is None:  # clean EOF
+                    return
+                resp = self._handle_request(req)
+                if resp is None:
+                    return  # shutdown op: no further frames
+                try:
+                    write_frame(conn, resp)
+                except OSError:
+                    # client went away while we solved; the work is done,
+                    # the result is simply undeliverable
+                    self._count_error()
+                    return
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _count_error(self) -> None:
+        with self._stats_lock:
+            self.errors += 1
+        self._telem(adds={"errors": 1.0})
+
+    def _handle_request(self, req: dict) -> dict | None:
+        op = req.get("op")
+        self._telem(adds={"requests": 1.0})
+        if op == "ping":
+            return ok_response(
+                "ping", pid=os.getpid(), version=PROTOCOL_VERSION
+            )
+        if op == "stats":
+            return ok_response("stats", stats=self.stats())
+        if op == "shutdown":
+            self.request_stop()
+            try:
+                return ok_response("shutdown")
+            finally:
+                pass
+        if op in ("solve", "batch"):
+            return self._enqueue_and_wait(op, req)
+        self._count_error()
+        return error_response(404, f"unknown op {op!r}")
+
+    def _enqueue_and_wait(self, op: str, req: dict) -> dict:
+        try:
+            family = FamilySpec.from_dict(req.get("family"))
+            cases = parse_cases(req)
+            if op == "solve" and len(cases) != 1:
+                raise ProtocolError("'solve' takes exactly one case")
+        except ProtocolError as exc:
+            self._count_error()
+            return error_response(400, str(exc))
+        deadline_s = req.get("deadline_s", self.default_deadline_s)
+        deadline = (
+            time.monotonic() + float(deadline_s)
+            if deadline_s is not None else None
+        )
+        job = Job(op=op, family=family, cases=cases, deadline=deadline)
+        try:
+            self.queue.submit(job)
+        except (QueueFull, QueueClosed) as exc:
+            with self._stats_lock:
+                self.rejected += 1
+            self._telem(adds={"rejected": 1.0})
+            return error_response(
+                503, str(exc), id=job.id, queue_depth=self.queue.depth,
+            )
+        self._gauge_sync()
+        job.done.wait()
+        return job.response
+
+    # ------------------------------------------------------------------
+    # solver side
+    # ------------------------------------------------------------------
+    def _solver_loop(self) -> None:
+        while True:
+            job = self.queue.get(timeout=0.5)
+            if job is None:
+                if self._stop.is_set() and self.queue.closed:
+                    return
+                continue
+            with self._stats_lock:
+                self.in_flight += 1
+            self._gauge_sync()
+            try:
+                job.finish(self._run_job(job))
+            except Exception as exc:  # never kill the solver thread
+                self._count_error()
+                job.finish(error_response(
+                    500, f"{type(exc).__name__}: {exc}", id=job.id
+                ))
+            finally:
+                with self._stats_lock:
+                    self.in_flight -= 1
+                self._gauge_sync()
+
+    def _run_job(self, job: Job) -> dict:
+        if job.expired():
+            with self._stats_lock:
+                self.rejected += 1
+            self._telem(adds={"rejected": 1.0})
+            return error_response(
+                408,
+                f"deadline expired after {job.queue_seconds:.2f}s in queue",
+                id=job.id,
+            )
+        t0 = time.perf_counter()
+        family, hit = self.cache.get(job.family)
+        setup_seconds = 0.0 if hit else family.build_seconds
+        self._telem(adds={
+            ("cache_hits" if hit else "cache_misses"): 1.0,
+            "batch_cases": float(len(job.cases)),
+        })
+        from ..obs.span import use_tracer
+
+        with use_tracer(self.tracer):
+            with self.tracer.span(
+                "serve.request",
+                id=job.id,
+                op=job.op,
+                cases=len(job.cases),
+                cache="hit" if hit else "miss",
+                dataset=job.family.dataset,
+            ):
+                with family.lock:
+                    results = solve_cases(family, job.cases)
+        wall = time.perf_counter() - t0
+        self._telem(adds={"completed": 1.0, "busy_seconds": wall})
+        with self._stats_lock:
+            self.completed += 1
+        payload = {
+            "id": job.id,
+            "cache": "hit" if hit else "miss",
+            "family": job.family.to_dict(),
+            "span": {
+                "queue_seconds": job.queue_seconds,
+                "setup_seconds": setup_seconds,
+                "solve_seconds": wall - (0.0 if hit else setup_seconds),
+                "total_seconds": job.queue_seconds + wall,
+            },
+        }
+        if job.op == "solve":
+            payload["result"] = results[0].to_dict()
+        else:
+            payload["results"] = [r.to_dict() for r in results]
+        return ok_response(job.op, **payload)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._stats_lock:
+            stats = {
+                "pid": os.getpid(),
+                "version": PROTOCOL_VERSION,
+                "uptime_seconds": time.monotonic() - self.started_at,
+                "in_flight": self.in_flight,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "errors": self.errors,
+            }
+        stats["queue"] = {
+            "depth": self.queue.depth,
+            "max_depth": self.queue.max_depth,
+            "submitted": self.queue.submitted,
+            "rejected_full": self.queue.rejected_full,
+        }
+        stats["cache"] = self.cache.stats()
+        return stats

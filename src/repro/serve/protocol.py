@@ -1,0 +1,246 @@
+"""Wire protocol of the ``repro serve`` daemon.
+
+Length-prefixed JSON frames over a local stream socket: every message is a
+4-byte big-endian payload length followed by that many bytes of UTF-8 JSON
+encoding one object.  Both directions use the same framing; a connection
+carries any number of request/response pairs.
+
+Requests are objects with an ``op`` field:
+
+``ping``      liveness probe -> ``{"ok": true, "pid": ...}``
+``stats``     queue/cache/uptime counters of the daemon
+``solve``     one case: ``{"op": "solve", "family": {...}, "case": {...},
+              "deadline_s": 30.0}``
+``batch``     k structurally-identical cases through one warm family:
+              ``{"op": "batch", "family": {...}, "cases": [{...}, ...]}``
+``shutdown``  graceful stop (the daemon finishes in-flight work and exits 0)
+
+A *family* names the shared structure every expensive artifact hangs off —
+mesh dataset/scale/seed/ordering, ILU fill, Schwarz subdomains, distributed
+rank count.  A *case* holds only what varies inside a sweep: angle of
+attack, artificial-compressibility ``beta`` (the Mach analogue), the
+dissipation scheme, and non-structural solver knobs (step/tolerance caps).
+Two requests with equal families share every plan, fleet and symbolic
+factorization in the daemon's warm cache.
+
+Responses mirror HTTP semantics in one ``ok``/``error`` envelope::
+
+    {"ok": true,  "op": "solve", "result": {...}}
+    {"ok": false, "error": {"code": 503, "message": "queue full ..."}}
+
+Codes: 400 malformed frame/request, 404 unknown op, 408 client deadline
+expired in queue, 500 solve failure, 503 admission-control rejection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "FamilySpec",
+    "CaseSpec",
+    "read_frame",
+    "write_frame",
+    "error_response",
+    "ok_response",
+    "parse_cases",
+]
+
+PROTOCOL_VERSION = "repro.serve/v1"
+#: sanity bound on one frame — requests are small JSON; anything larger is a
+#: corrupt or hostile length prefix, rejected before allocation.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+_LEN = struct.Struct("!I")
+
+
+class ProtocolError(Exception):
+    """Malformed framing or request payload (maps to a 400 response)."""
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF *before* any byte.
+
+    EOF after a partial read is a truncated frame — that is a protocol
+    error, not a clean close.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"truncated frame: EOF after {got} of {n} bytes"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> dict | None:
+    """One length-prefixed JSON object; None on clean EOF between frames."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (n,) = _LEN.unpack(header)
+    if n == 0 or n > MAX_FRAME_BYTES:
+        raise ProtocolError(f"invalid frame length {n}")
+    payload = _recv_exact(sock, n)
+    if payload is None:
+        raise ProtocolError("truncated frame: EOF before payload")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must encode an object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def write_frame(sock: socket.socket, obj: dict) -> None:
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(payload)} bytes")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def ok_response(op: str, **fields) -> dict:
+    return {"ok": True, "op": op, **fields}
+
+
+def error_response(code: int, message: str, **fields) -> dict:
+    return {"ok": False, "error": {"code": code, "message": message, **fields}}
+
+
+# ---------------------------------------------------------------------------
+# family / case specs
+# ---------------------------------------------------------------------------
+
+def _typed(d: dict, key: str, typ, default):
+    v = d.get(key, default)
+    try:
+        return typ(v)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"field {key!r} must be {typ.__name__}, got {v!r}")
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Structural identity of a mesh family: everything the warm cache keys
+    plans, fleets and symbolic factorizations on."""
+
+    dataset: str = "mesh-c"
+    scale: float = 0.12
+    seed: int = 7
+    ordering: str = "natural"
+    ilu: int = 1
+    subdomains: int = 1
+    dist_ranks: int = 0
+
+    _FIELDS = ("dataset", "scale", "seed", "ordering", "ilu", "subdomains",
+               "dist_ranks")
+
+    @classmethod
+    def from_dict(cls, d: dict | None) -> "FamilySpec":
+        d = d or {}
+        if not isinstance(d, dict):
+            raise ProtocolError("'family' must be an object")
+        unknown = set(d) - set(cls._FIELDS)
+        if unknown:
+            raise ProtocolError(f"unknown family field(s) {sorted(unknown)}")
+        spec = cls(
+            dataset=str(d.get("dataset", "mesh-c")),
+            scale=_typed(d, "scale", float, 0.12),
+            seed=_typed(d, "seed", int, 7),
+            ordering=str(d.get("ordering", "natural")),
+            ilu=_typed(d, "ilu", int, 1),
+            subdomains=_typed(d, "subdomains", int, 1),
+            dist_ranks=_typed(d, "dist_ranks", int, 0),
+        )
+        if spec.dataset not in ("mesh-c", "mesh-d", "wing"):
+            raise ProtocolError(f"unknown dataset {spec.dataset!r}")
+        if spec.ordering not in ("natural", "rcm"):
+            raise ProtocolError(f"unknown ordering {spec.ordering!r}")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self._FIELDS}
+
+    @property
+    def key(self) -> tuple:
+        return tuple(getattr(self, k) for k in self._FIELDS)
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """Per-case state: what varies across a sweep over one family.
+
+    ``aoa``/``beta``/``dissipation`` feed the :class:`FlowConfig`;
+    ``max_steps``/``rtol`` are non-structural solver overrides (they change
+    no plan, pattern or fleet, so cases with different caps still share one
+    warm family).
+    """
+
+    aoa: float = 3.0
+    beta: float = 4.0
+    dissipation: str = "rusanov"
+    max_steps: int = 100
+    rtol: float = 1e-6
+    tag: str = ""  # echoed back verbatim (sweep bookkeeping)
+
+    _FIELDS = ("aoa", "beta", "dissipation", "max_steps", "rtol", "tag")
+
+    @classmethod
+    def from_dict(cls, d: dict | None) -> "CaseSpec":
+        d = d or {}
+        if not isinstance(d, dict):
+            raise ProtocolError("'case' must be an object")
+        unknown = set(d) - set(cls._FIELDS)
+        if unknown:
+            raise ProtocolError(f"unknown case field(s) {sorted(unknown)}")
+        spec = cls(
+            aoa=_typed(d, "aoa", float, 3.0),
+            beta=_typed(d, "beta", float, 4.0),
+            dissipation=str(d.get("dissipation", "rusanov")),
+            max_steps=_typed(d, "max_steps", int, 100),
+            rtol=_typed(d, "rtol", float, 1e-6),
+            tag=str(d.get("tag", "")),
+        )
+        if spec.dissipation not in ("rusanov", "roe"):
+            raise ProtocolError(f"unknown dissipation {spec.dissipation!r}")
+        if spec.max_steps < 1:
+            raise ProtocolError("max_steps must be >= 1")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self._FIELDS}
+
+    def flow_config(self):
+        from ..cfd import FlowConfig
+
+        return FlowConfig(
+            aoa_deg=self.aoa, beta=self.beta, dissipation=self.dissipation
+        )
+
+
+def parse_cases(payload: dict) -> list[CaseSpec]:
+    """The case list of a ``solve`` (one) or ``batch`` (many) request."""
+    if "cases" in payload:
+        raw = payload["cases"]
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("'cases' must be a non-empty list")
+        return [CaseSpec.from_dict(c) for c in raw]
+    return [CaseSpec.from_dict(payload.get("case"))]

@@ -1,0 +1,121 @@
+"""Admission-controlled job queue of the serve daemon.
+
+Connection handler threads *produce* jobs; solver threads *consume* them.
+Admission control is enforced at submit time: a bounded depth (the queue
+rejects rather than buffers unboundedly — the 503 path) and an optional
+per-request deadline (a job whose deadline passes while it waits is
+rejected at dequeue with 408 instead of wasting a warm fleet on an answer
+nobody is waiting for).  Jobs carry a one-shot completion event so the
+connection handler can block for the result without polling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "QueueFull", "QueueClosed", "AdmissionQueue"]
+
+
+class QueueFull(Exception):
+    """Bounded depth reached — admission refused (503)."""
+
+
+class QueueClosed(Exception):
+    """Submit after shutdown began (503)."""
+
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One queued unit of solver work (a single case or a whole batch)."""
+
+    op: str
+    family: object  # FamilySpec
+    cases: list  # list[CaseSpec]; length 1 for op == "solve"
+    deadline: float | None = None  # time.monotonic() cutoff, None = none
+    id: int = field(default_factory=lambda: next(_ids))
+    enqueued_at: float = field(default_factory=time.monotonic)
+    done: threading.Event = field(default_factory=threading.Event)
+    response: dict | None = None
+    queue_seconds: float = 0.0
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline
+
+    def finish(self, response: dict) -> None:
+        self.response = response
+        self.done.set()
+
+
+class AdmissionQueue:
+    """Bounded FIFO with depth-based admission control.
+
+    ``max_depth`` counts *queued* jobs only; in-flight work is tracked by
+    the caller (the daemon's solver threads).  All methods are thread-safe.
+    """
+
+    def __init__(self, max_depth: int = 8) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = int(max_depth)
+        self._jobs: deque[Job] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.submitted = 0
+        self.rejected_full = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._jobs)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Admit ``job`` or raise :class:`QueueFull`/:class:`QueueClosed`."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("daemon is shutting down")
+            if len(self._jobs) >= self.max_depth:
+                self.rejected_full += 1
+                raise QueueFull(
+                    f"queue full ({self.max_depth} queued); retry later"
+                )
+            self._jobs.append(job)
+            self.submitted += 1
+            self._cond.notify()
+            return job
+
+    def get(self, timeout: float = 0.5) -> Job | None:
+        """Next job, or None after ``timeout`` with the queue empty/closed."""
+        with self._cond:
+            if not self._jobs:
+                self._cond.wait(timeout)
+            if not self._jobs:
+                return None
+            job = self._jobs.popleft()
+            job.queue_seconds = time.monotonic() - job.enqueued_at
+            return job
+
+    # ------------------------------------------------------------------
+    def close(self) -> list[Job]:
+        """Refuse new work and drain: returns the jobs never started so the
+        daemon can answer each with a shutdown rejection."""
+        with self._cond:
+            self._closed = True
+            drained = list(self._jobs)
+            self._jobs.clear()
+            self._cond.notify_all()
+        return drained

@@ -254,6 +254,8 @@ class ProcessEdgeBackend:
         self._closed = False
         self._broken = False
         self._seq = 0
+        self._flux_rounds = 0
+        self._grad_rounds = 0
 
         nv, ne = field.n_vertices, field.n_edges
         w = self.n_workers
@@ -385,6 +387,23 @@ class ProcessEdgeBackend:
         """This fleet's live plane (None when telemetry is disabled)."""
         return self._plane
 
+    def fleet_stats(self) -> dict:
+        """Reuse counters of this forked fleet, since fork.
+
+        ``rounds`` counts dispatch rounds (every kind); a warm fleet held
+        across solves keeps growing them, which is how the serve daemon's
+        ``stats`` — and the CI serve-smoke job — verify the fleet was
+        reused rather than reforked per request.
+        """
+        return {
+            "workers": self.n_workers,
+            "strategy": self.strategy_label,
+            "rounds": self._seq,
+            "flux_rounds": self._flux_rounds,
+            "grad_rounds": self._grad_rounds,
+            "closed": self._closed,
+        }
+
     # ------------------------------------------------------------------
     def _require_usable(self) -> None:
         """Refuse before touching the shared arrays: after ``close()`` the
@@ -498,6 +517,7 @@ class ProcessEdgeBackend:
             span_prefix="flux",
         )
         get_metrics().counter("parallel.flux_calls").inc()
+        self._flux_rounds += 1
         if self.strategy == "replicate":
             return self._acc.sum(axis=0)
         return self._res.copy()
@@ -512,6 +532,7 @@ class ProcessEdgeBackend:
             self._rhs.fill(0.0)
         self._dispatch_collect(("grad",), span_prefix="grad")
         get_metrics().counter("parallel.grad_calls").inc()
+        self._grad_rounds += 1
         rhs = (
             self._acc_rhs.sum(axis=0)
             if self.strategy == "replicate"

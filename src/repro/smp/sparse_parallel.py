@@ -338,6 +338,8 @@ class SparseProcessBackend:
         self._closed = False
         self._broken = False
         self._seq = 0
+        self._factorizations = 0
+        self._trsv_solves = 0
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -364,6 +366,24 @@ class SparseProcessBackend:
             for key, name in fleet.pool.segment_names().items():
                 out[f"{fid}.{key}"] = name
         return out
+
+    def fleet_stats(self) -> dict:
+        """Reuse counters of this backend's fleets, since fork.
+
+        ``factorizations``/``trsv_solves`` keep growing while a warm
+        backend is held across solves (one fleet per ILU plan, never
+        reforked) — the serve daemon's ``stats`` exposes these so fleet
+        reuse is verifiable, not inferred from timings.
+        """
+        return {
+            "workers": self.n_workers,
+            "strategy": self.strategy,
+            "plans_resident": len(self._fleets),
+            "rounds": self._seq,
+            "factorizations": self._factorizations,
+            "trsv_solves": self._trsv_solves,
+            "closed": self._closed,
+        }
 
     # ------------------------------------------------------------------
     def _require_usable(self) -> None:
@@ -564,6 +584,7 @@ class SparseProcessBackend:
         fleet.gen += 1
         self._dispatch_collect(fleet, ("ilu", fleet.gen), span_prefix="ilu")
         get_metrics().counter("sparse_parallel.factorizations").inc()
+        self._factorizations += 1
         return fleet.factor
 
     def solve(
@@ -590,6 +611,7 @@ class SparseProcessBackend:
         fleet.gen = gb
         self._dispatch_collect(fleet, ("trsv", gf, gb), span_prefix="trsv")
         get_metrics().counter("sparse_parallel.solves").inc()
+        self._trsv_solves += 1
         if out is not None:
             np.copyto(out.reshape(plan.n, plan.b), fleet.x)
             return out

@@ -2,7 +2,12 @@
 
 from .gmres import GMRESResult, gmres
 from .jfnk import fd_jacobian_operator
-from .newton import SolveResult, SolverOptions, solve_steady
+from .newton import (
+    SolveResult,
+    SolverOptions,
+    SteadySolverSession,
+    solve_steady,
+)
 from .schwarz import AdditiveSchwarzILU, SubdomainILU
 
 __all__ = [
@@ -11,6 +16,7 @@ __all__ = [
     "fd_jacobian_operator",
     "SolveResult",
     "SolverOptions",
+    "SteadySolverSession",
     "solve_steady",
     "AdditiveSchwarzILU",
     "SubdomainILU",

@@ -30,7 +30,12 @@ from .gmres import gmres
 from .jfnk import fd_jacobian_operator
 from .schwarz import AdditiveSchwarzILU
 
-__all__ = ["SolverOptions", "SolveResult", "solve_steady"]
+__all__ = [
+    "SolverOptions",
+    "SolveResult",
+    "SteadySolverSession",
+    "solve_steady",
+]
 
 
 @dataclass
@@ -82,6 +87,133 @@ class SolveResult:
         return self.residual_history[-1]
 
 
+class SteadySolverSession:
+    """Warm, reusable solver context for repeated solves on one field.
+
+    Everything that depends only on the *structure* of the problem — the
+    Jacobian pattern and assembler workspaces, the BCSR matrix, the
+    additive-Schwarz subdomain split with its ILU symbolic plans, and an
+    optional :class:`~repro.smp.sparse_parallel.SparseProcessBackend`
+    worker fleet — is built once here and reused by every :meth:`solve`.
+    Only the state arrays and the :class:`FlowConfig` differ per case, so
+    an angle-of-attack / Mach sweep pays the setup exactly once (the serve
+    daemon's warm-cache story; the paper's setup-vs-solve cost split).
+
+    Numerics contract: :meth:`solve` is bitwise identical to a fresh
+    :func:`solve_steady` with the same options — the assembler overwrites
+    the matrix (``set_zero``) and the preconditioner refactorizes from the
+    current values on every Newton step, so no state leaks between cases.
+    Property-tested in ``tests/test_serve.py``.
+    """
+
+    def __init__(self, fld: FlowField, opts: SolverOptions | None = None):
+        opts = opts or SolverOptions()
+        if opts.sparse_backend not in ("serial", "process"):
+            raise ValueError(
+                f"unknown sparse backend {opts.sparse_backend!r}; "
+                "pick 'serial' or 'process'"
+            )
+        self.field = fld
+        self.opts = opts
+        self.assembler = JacobianAssembler(fld)
+        self.A = self.assembler.new_matrix()
+        labels = opts.subdomain_labels
+        if labels is None and opts.n_subdomains > 1:
+            from ..partition.multilevel import partition_graph
+
+            labels = partition_graph(
+                fld.mesh.edges, fld.n_vertices, opts.n_subdomains
+            )
+        self.precond = AdditiveSchwarzILU(
+            self.A, labels=labels, overlap=opts.overlap,
+            fill_level=opts.ilu_fill,
+        )
+        self._backend = None
+        self._owns_backend = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _sparse_cm(self):
+        """Context installing the session's sparse fleet (if configured).
+
+        An ambient backend installed by the caller (e.g. the serve daemon
+        keeping one fleet warm across requests) takes precedence: the
+        session then never forks its own workers.
+        """
+        from contextlib import nullcontext
+
+        if self.opts.sparse_backend != "process":
+            return nullcontext()
+        from ..sparse.dispatch import get_sparse_backend, use_sparse_backend
+
+        ambient = get_sparse_backend()
+        if ambient is not None and not getattr(ambient, "closed", False):
+            return nullcontext()
+        if self._backend is None or self._backend.closed:
+            from ..smp.sparse_parallel import SparseProcessBackend
+
+            self._backend = SparseProcessBackend(
+                n_workers=max(1, self.opts.sparse_workers),
+                strategy=self.opts.sparse_strategy,
+            )
+            self._owns_backend = True
+        return use_sparse_backend(self._backend)
+
+    #: solver knobs safe to override per solve: none of them changes a
+    #: pattern, plan, partition or fleet, so the warm structures stay valid.
+    NONSTRUCTURAL = frozenset({
+        "cfl0", "cfl_max", "max_steps", "steady_rtol", "steady_atol",
+        "gmres_rtol", "gmres_restart", "gmres_maxiter", "max_update",
+        "matrix_free",
+    })
+
+    def solve(
+        self,
+        config: FlowConfig,
+        q0: np.ndarray | None = None,
+        callback: Callable[[int, float, float], None] | None = None,
+        **overrides,
+    ) -> SolveResult:
+        """One steady solve over the warm structures (see class docstring).
+
+        Keyword overrides are restricted to :attr:`NONSTRUCTURAL` solver
+        options (step caps, tolerances, CFL schedule) — anything structural
+        requires a new session.
+        """
+        if self._closed:
+            raise RuntimeError("solver session is closed")
+        opts = self.opts
+        if overrides:
+            bad = set(overrides) - self.NONSTRUCTURAL
+            if bad:
+                raise ValueError(
+                    f"structural option(s) {sorted(bad)} cannot be "
+                    "overridden on a warm session"
+                )
+            from dataclasses import replace
+
+            opts = replace(opts, **overrides)
+        with self._sparse_cm():
+            return _solve_steady_impl(
+                self.field, config, opts, q0, callback, session=self
+            )
+
+    def close(self) -> None:
+        """Tear down the session's own sparse fleet (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._backend is not None and self._owns_backend:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "SteadySolverSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def solve_steady(
     fld: FlowField,
     config: FlowConfig,
@@ -100,24 +232,16 @@ def solve_steady(
     factorizations and triangular solves run on a process fleet
     (:class:`repro.smp.sparse_parallel.SparseProcessBackend`) for the
     duration of the solve; the workers persist across Newton steps and
-    Krylov iterations and are torn down on exit.
-    """
-    opts = opts or SolverOptions()
-    if opts.sparse_backend == "process":
-        from ..smp.sparse_parallel import SparseProcessBackend
-        from ..sparse.dispatch import use_sparse_backend
+    Krylov iterations and are torn down on exit.  If a sparse backend is
+    already installed (:func:`repro.sparse.use_sparse_backend`), that warm
+    fleet is reused instead of forking a fresh one.
 
-        with SparseProcessBackend(
-            n_workers=max(1, opts.sparse_workers),
-            strategy=opts.sparse_strategy,
-        ) as backend, use_sparse_backend(backend):
-            return _solve_steady_impl(fld, config, opts, q0, callback)
-    elif opts.sparse_backend != "serial":
-        raise ValueError(
-            f"unknown sparse backend {opts.sparse_backend!r}; "
-            "pick 'serial' or 'process'"
-        )
-    return _solve_steady_impl(fld, config, opts, q0, callback)
+    One-shot wrapper over :class:`SteadySolverSession`; callers with many
+    structurally-identical cases should hold a session (or go through
+    ``repro serve``) to amortize the setup.
+    """
+    with SteadySolverSession(fld, opts) as session:
+        return session.solve(config, q0=q0, callback=callback)
 
 
 def _solve_steady_impl(
@@ -126,6 +250,7 @@ def _solve_steady_impl(
     opts: SolverOptions,
     q0: np.ndarray | None,
     callback: Callable[[int, float, float], None] | None,
+    session: SteadySolverSession,
 ) -> SolveResult:
     tracer = get_tracer()
     metrics = get_metrics()
@@ -133,17 +258,9 @@ def _solve_steady_impl(
 
     q = fld.initial_state(config) if q0 is None else q0.copy()
 
-    assembler = JacobianAssembler(fld)
-    A = assembler.new_matrix()
-
-    labels = opts.subdomain_labels
-    if labels is None and opts.n_subdomains > 1:
-        from ..partition.multilevel import partition_graph
-
-        labels = partition_graph(fld.mesh.edges, nv, opts.n_subdomains)
-    precond = AdditiveSchwarzILU(
-        A, labels=labels, overlap=opts.overlap, fill_level=opts.ilu_fill
-    )
+    assembler = session.assembler
+    A = session.A
+    precond = session.precond
 
     def spatial_residual(u_flat: np.ndarray) -> np.ndarray:
         u = u_flat.reshape(nv, 4)
