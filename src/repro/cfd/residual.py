@@ -13,6 +13,7 @@ import numpy as np
 
 from ..obs.metrics import get_metrics
 from ..obs.span import kernel_span
+from ..smp.backend import get_edge_backend
 from .boundary import farfield_residual, wall_residual
 from .flux import interior_flux_residual
 from .gradient import lsq_gradients, venkat_limiter
@@ -40,6 +41,19 @@ def compute_residual(
     """
     get_metrics().counter("residual.evals").inc()
     grad = limiter = None
+    backend = get_edge_backend()
+    if (
+        config.second_order
+        and not first_order
+        and backend is not None
+        and getattr(backend, "residual_pipeline", None) is not None
+        and backend.handles(field)
+    ):
+        # fused kernel-graph path: one program evaluates gradients,
+        # limiter and interior flux (bitwise-equal to the staged oracle
+        # below); only the boundary closures remain per-kernel
+        res, grad, limiter = backend.residual_pipeline(q, config)
+        return _add_boundary(field, q, config, res)
     if config.second_order and not first_order:
         with kernel_span("grad"):
             grad = lsq_gradients(field, q)
@@ -48,6 +62,27 @@ def compute_residual(
         res = interior_flux_residual(
             field, q, config.beta, grad, limiter, scheme=config.dissipation
         )
+        res += wall_residual(field, q, "wall")
+        res += wall_residual(field, q, "sym")
+        res += farfield_residual(
+            field, q, freestream_state(config), config.beta,
+            scheme=config.dissipation,
+        )
+        if config.mu > 0.0:
+            from .viscous import viscous_residual
+
+            res += viscous_residual(field, q, config.mu, field.visc_coeffs)
+    return res
+
+
+def _add_boundary(
+    field: FlowField,
+    q: np.ndarray,
+    config: FlowConfig,
+    res: np.ndarray,
+) -> np.ndarray:
+    """Boundary closures on top of an interior residual, oracle order."""
+    with kernel_span("flux"):
         res += wall_residual(field, q, "wall")
         res += wall_residual(field, q, "sym")
         res += farfield_residual(

@@ -69,6 +69,18 @@ class DistSolveResult:
         }
 
 
+def _red_width_for(opts: SolverOptions) -> int:
+    """Reduction-scratch width sized to the GMRES restart.
+
+    Classical Gram-Schmidt batches one allreduce of width ``j + 1`` per
+    inner iteration (``j < restart``), so restarts above the old fixed
+    scratch of 64 slots hit the red-slot ceiling; size the scratch to the
+    restart (plus slack for the norm fusions) and never below the
+    historical default.
+    """
+    return max(64, int(opts.gmres_restart) + 2)
+
+
 def distributed_solve(
     field: FlowField,
     config: FlowConfig,
@@ -82,6 +94,7 @@ def distributed_solve(
     timeout: float = 300.0,
     telemetry: bool = True,
     decomp: DomainDecomposition | None = None,
+    fuse: bool = False,
 ) -> DistSolveResult:
     """Steady solve on ``n_ranks`` forked rank processes.
 
@@ -94,6 +107,11 @@ def distributed_solve(
     prebuilt :class:`DomainDecomposition` over the same mesh — the serve
     daemon's warm cache passes one so repeated distributed requests on a
     mesh family pay the multilevel partition exactly once.
+
+    ``fuse=True`` runs each rank's residual through the fused
+    kernel-graph pipeline (see :func:`..program.rank_residual`) —
+    bitwise-identical residuals, fewer edge passes, with per-stage
+    ``fuse.*`` spans in the rank trace.
     """
     opts = opts or SolverOptions()
     nv = field.n_vertices
@@ -113,7 +131,8 @@ def distributed_solve(
 
     def program(comm):
         return rank_solve_steady(
-            datas[comm.rank], comm, config, opts, pipelined=pipelined
+            datas[comm.rank], comm, config, opts,
+            pipelined=pipelined, fuse=fuse,
         )
 
     tracer = get_tracer()
@@ -133,6 +152,7 @@ def distributed_solve(
     with DistRuntime(
         decomp,
         halo_width=GRAD_LIMITER_WIDTH,
+        red_width=_red_width_for(opts),
         allreduce_algo=allreduce_algo,
         timeout=timeout,
         telemetry=telemetry,

@@ -42,6 +42,7 @@ from ...perf.scatter import (
     edge_sum_plan,
     jacobian_edge_plan,
     scatter_plan,
+    segment_reduce_plan,
 )
 from ...solver.newton import SolverOptions
 from ...sparse.bcsr import BCSRMatrix, bcsr_pattern_from_edges
@@ -187,6 +188,8 @@ class _Workspace:
         self.limiter = np.ones((nl, NVARS))
         self.rhs = np.zeros((nl, NVARS, 3))
         self.res = np.zeros((nl, NVARS))
+        self.qmin = np.zeros((nl, NVARS))  # fused-pipeline neighbor bounds
+        self.qmax = np.zeros((nl, NVARS))
         self.q[:no] = data.q0
         self.interior_seconds = 0.0
         self._data = data
@@ -217,6 +220,35 @@ class _Workspace:
             verts, _ = self._data.bcorners[tag]
             plan = scatter_plan(
                 verts, self._data.n_local, name="dist.boundary"
+            )
+            self._plans[key] = plan
+        return plan
+
+    def minmax_plan(self, sl: slice):
+        """Cached segment min/max plan over both endpoints of the edges in
+        ``sl`` (fused recon sweep: neighbor bounds fold)."""
+        key = ("mm", sl.start, sl.stop)
+        plan = self._plans.get(key)
+        if plan is None:
+            d = self._data
+            plan = segment_reduce_plan(
+                np.concatenate([d.e0[sl], d.e1[sl]]),
+                d.n_local,
+                name="dist.kgir.minmax",
+            )
+            self._plans[key] = plan
+        return plan
+
+    def phi_plan(self, end: int):
+        """Cached scatter-min plan over the owned rows of endpoint ``end``
+        across all local edges (fused limiter fold)."""
+        key = ("phi", end)
+        plan = self._plans.get(key)
+        if plan is None:
+            d = self._data
+            e = d.e0 if end == 0 else d.e1
+            plan = segment_reduce_plan(
+                e[e < d.n_owned], d.n_local, name="dist.kgir.phi"
             )
             self._plans[key] = plan
         return plan
@@ -256,6 +288,46 @@ def _venkat_local(data: RankData, ws: _Workspace, k: float) -> None:
             val = np.where(np.abs(d2) > 1e-14, num / den, 1.0)
         val = np.clip(val, 0.0, 1.0)
         np.minimum.at(phi, endo, val)
+
+
+def _fused_minmax(data: RankData, ws: _Workspace, sl: slice) -> None:
+    """Fold the edges in ``sl`` into the neighbor min/max bounds — the
+    half of the fused recon sweep that shares its gather of ``q`` with the
+    gradient accumulation.  min/max are order-free exact, so splitting the
+    fold interior/cut is bitwise-equal to the one-shot ``ufunc.at`` in
+    :func:`_venkat_local`."""
+    e0, e1 = data.e0[sl], data.e1[sl]
+    vals = np.concatenate([ws.q[e1], ws.q[e0]], axis=0)
+    plan = ws.minmax_plan(sl)
+    plan.apply(vals, ws.qmin, "min")
+    plan.apply(vals, ws.qmax, "max")
+
+
+def _venkat_fused(data: RankData, ws: _Workspace, k: float) -> None:
+    """Fused limiter sweep: identical per-edge arithmetic to
+    :func:`_venkat_local`, but the neighbor bounds were already folded by
+    the recon sweep and the scatter-min runs through a precompiled
+    segment plan instead of ``np.minimum.at``."""
+    q, grad, qmin, qmax = ws.q, ws.grad, ws.qmin, ws.qmax
+    eps2 = (k**3) * data.volumes
+    phi = ws.limiter
+    phi[: data.n_owned] = 1.0
+    for end_i, (end, disp) in enumerate(
+        ((data.e0, data.d0), (data.e1, data.d1))
+    ):
+        sel = end < data.n_owned
+        endo, dispo = end[sel], disp[sel]
+        d2 = np.einsum("nvi,ni->nv", grad[endo], dispo)
+        dmax = qmax[endo] - q[endo]
+        dmin = qmin[endo] - q[endo]
+        d1 = np.where(d2 > 0.0, dmax, dmin)
+        e2 = eps2[endo][:, None]
+        num = (d1 * d1 + e2) * d2 + 2.0 * d2 * d2 * d1
+        den = d2 * (d1 * d1 + 2.0 * d2 * d2 + d1 * d2 + e2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            val = np.where(np.abs(d2) > 1e-14, num / den, 1.0)
+        val = np.clip(val, 0.0, 1.0)
+        ws.phi_plan(end_i).apply(val, phi, "min")
 
 
 def _boundary_residual(
@@ -310,6 +382,7 @@ def rank_residual(
     ws: _Workspace,
     config: FlowConfig,
     pipelined: bool,
+    fuse: bool = False,
 ) -> np.ndarray:
     """Distributed spatial residual of the owned vertices.
 
@@ -317,6 +390,14 @@ def rank_residual(
     here.  Pipelined mode overlaps each halo window with the interior work
     that window makes safe; plain mode runs the same interior/cut split
     back-to-back, so both modes produce bit-identical residuals.
+
+    ``fuse=True`` runs the kernel-graph fused pipeline: the gradient
+    accumulation and the limiter's neighbor min/max fold share one pass
+    (and one gather) over each edge slice, and the limiter scatter-min
+    runs through a precompiled segment plan.  Bitwise-identical to the
+    unfused path (min/max folds are order-free exact; everything else is
+    the same statements), with per-stage ``fuse.recon`` / ``fuse.limit``
+    spans in the rank's trace.
     """
     second_order = config.second_order
     ii = slice(0, data.n_interior)
@@ -346,7 +427,35 @@ def rank_residual(
         ws.edge_plan(sl, "sum").apply(contrib, out=ws.rhs, accumulate=True)
 
     # ---- window 1: state exchange || interior gradient accumulation ----
-    if second_order:
+    if second_order and fuse:
+        # fused recon: one pass per edge slice accumulates the gradient
+        # rhs AND folds the neighbor min/max (interior edges touch only
+        # owned q, so the interior half runs inside the halo window)
+        ws.rhs.fill(0.0)
+        ws.qmin[...] = ws.q
+        ws.qmax[...] = ws.q
+
+        def recon(sl: slice) -> None:
+            t0 = time.perf_counter()
+            grad_accumulate(sl)
+            _fused_minmax(data, ws, sl)
+            comm.recorder.add(
+                "fuse.recon", t0, time.perf_counter(),
+                edges=sl.stop - sl.start,
+            )
+
+        window([ws.q], lambda: recon(ii))
+        recon(ic)  # cut-edge contributions (need ghost q)
+        ws.grad[: data.n_owned] = np.einsum(
+            "nij,nvj->nvi", data.lsq_inv, ws.rhs[: data.n_owned]
+        )
+        t0 = time.perf_counter()
+        _venkat_fused(data, ws, config.limiter_k)
+        comm.recorder.add(
+            "fuse.limit", t0, time.perf_counter(), edges=data.e0.shape[0]
+        )
+        exchange_payload = [ws.grad, ws.limiter]
+    elif second_order:
         ws.rhs.fill(0.0)
         window([ws.q], lambda: grad_accumulate(ii))
         grad_accumulate(ic)  # cut-edge contributions (need ghost q)
@@ -543,6 +652,7 @@ def rank_solve_steady(
     config: FlowConfig,
     opts: SolverOptions,
     pipelined: bool = False,
+    fuse: bool = False,
 ) -> RankSolveStats:
     """One rank's pseudo-transient Newton loop (the distributed
     counterpart of :func:`repro.solver.newton.solve_steady`).
@@ -567,9 +677,9 @@ def rank_solve_steady(
             span_sink=comm.recorder.add,
         ) as backend, use_sparse_backend(backend):
             return _rank_solve_steady_impl(
-                data, comm, config, opts, pipelined, sparse=backend
+                data, comm, config, opts, pipelined, fuse, sparse=backend
             )
-    return _rank_solve_steady_impl(data, comm, config, opts, pipelined)
+    return _rank_solve_steady_impl(data, comm, config, opts, pipelined, fuse)
 
 
 def _rank_solve_steady_impl(
@@ -578,6 +688,7 @@ def _rank_solve_steady_impl(
     config: FlowConfig,
     opts: SolverOptions,
     pipelined: bool,
+    fuse: bool = False,
     sparse=None,
 ) -> RankSolveStats:
     from ...solver.distributed import dist_fd_operator, dist_gmres
@@ -590,7 +701,9 @@ def _rank_solve_steady_impl(
 
     def spatial_residual(u_flat: np.ndarray) -> np.ndarray:
         ws.q[:no] = u_flat.reshape(no, NVARS)
-        return rank_residual(data, comm, ws, config, pipelined).reshape(-1)
+        return rank_residual(
+            data, comm, ws, config, pipelined, fuse
+        ).reshape(-1)
 
     history: list[float] = []
     cfls: list[float] = []
@@ -622,7 +735,7 @@ def _rank_solve_steady_impl(
 
     for step in range(1, opts.max_steps + 1):
         ws.q[:no] = q_owned
-        res = rank_residual(data, comm, ws, config, pipelined).copy()
+        res = rank_residual(data, comm, ws, config, pipelined, fuse).copy()
         rnorm = float(
             np.sqrt(comm.allreduce(float(np.sum(res * res))) / n_unknowns)
         )

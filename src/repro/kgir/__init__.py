@@ -1,0 +1,70 @@
+"""Kernel-graph IR: fuse the edge pipeline into single-pass programs.
+
+The paper's lesson is that the edge loops are memory-bound: once scatter
+conflicts are handled, wins come from cutting traffic per edge, not from
+more threads.  The unfused residual pipeline pays the edge-gather tax four
+times per evaluation (gradient accumulation, neighbor min/max, limiter
+values, flux), each pass materializing full edge-length intermediates.
+
+This package represents that pipeline as a small operator DAG over the
+existing precompiled scatter plans (:mod:`repro.perf.scatter`):
+
+* :mod:`.ir` — gather/compute/scatter stage nodes with declared
+  reads/writes and an edge-index-set identity, plus the rewrite pass that
+  fuses adjacent stages with matching index sets into single-pass fused
+  groups (one shared gather, pipelined arithmetic, scatters at the end).
+* :mod:`.programs` — the residual pipeline lowered onto the IR:
+  :class:`ResidualProgram` (single-state and trailing-axis batched
+  multi-case evaluation) and the :func:`fusion_report` the CLI prints.
+* :mod:`.backend` — :class:`FusedEdgeBackend`, installed through
+  :func:`repro.smp.use_edge_backend`, which reroutes
+  :func:`repro.cfd.residual.compute_residual` through the fused program,
+  serially or on :class:`~repro.smp.parallel.ProcessEdgeBackend` workers.
+
+Numerics contract: fused execution is **bitwise identical** to the unfused
+oracle (property-tested in ``tests/test_kgir.py``).  Additive scatters go
+through the same :class:`~repro.perf.scatter.ScatterPlan` objects in the
+same statement order; min/max scatters are IEEE-exact in any order, which
+is what lets the fused pass replace the reference ``ufunc.at`` loops with
+precompiled segment reductions; all remaining arithmetic reuses the very
+same NumPy calls (including ``einsum``, whose per-row results are verified
+stable under chunking/gathering) on identically laid-out inputs.
+"""
+
+from .backend import FusedEdgeBackend
+from .ir import (
+    EdgeIndexSet,
+    EdgeStage,
+    FusedStage,
+    FusionError,
+    FusionReport,
+    Graph,
+    PointStage,
+    ScatterSpec,
+    fuse_graph,
+    fuse_stages,
+)
+from .programs import (
+    ResidualProgram,
+    batched_residual,
+    fusion_report,
+    residual_program,
+)
+
+__all__ = [
+    "EdgeIndexSet",
+    "EdgeStage",
+    "PointStage",
+    "ScatterSpec",
+    "FusedStage",
+    "FusionError",
+    "FusionReport",
+    "Graph",
+    "fuse_graph",
+    "fuse_stages",
+    "ResidualProgram",
+    "residual_program",
+    "batched_residual",
+    "fusion_report",
+    "FusedEdgeBackend",
+]

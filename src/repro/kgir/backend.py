@@ -1,0 +1,95 @@
+"""Fused-program edge backend.
+
+:class:`FusedEdgeBackend` plugs the kernel-graph programs into the
+standard :func:`repro.smp.use_edge_backend` slot.  It adds one optional
+member to the backend protocol — ``residual_pipeline(q, config)`` — which
+:func:`repro.cfd.residual.compute_residual` probes for: when present, the
+whole interior second-order pipeline (gradients, limiter, flux) runs as
+one fused program instead of four backend calls.
+
+Two execution modes:
+
+* ``inner=None`` — the fused :class:`~repro.kgir.programs.ResidualProgram`
+  runs serially in-process;
+* ``inner=ProcessEdgeBackend`` — the fused pipeline is dispatched to the
+  worker fleet (:meth:`repro.smp.parallel.ProcessEdgeBackend\
+.fused_pipeline`), and the classic per-kernel entry points
+  (``flux_residual`` / ``gradients``) delegate to the same fleet so
+  Jacobian assembly and first-order preconditioner residuals keep their
+  parallel path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cfd.state import FlowConfig, FlowField
+from ..smp.backend import use_edge_backend
+from .programs import residual_program
+
+__all__ = ["FusedEdgeBackend"]
+
+
+class FusedEdgeBackend:
+    """Edge backend that routes the residual through fused programs."""
+
+    def __init__(self, field: FlowField, inner=None):
+        self.field = field
+        self.inner = inner
+        # build (and cache on the field) the fused program up front so the
+        # first residual evaluation doesn't pay plan compilation
+        self.program = residual_program(field, fuse=True)
+
+    # -- backend protocol ------------------------------------------------
+    def handles(self, field: FlowField) -> bool:
+        if self.inner is not None and not self.inner.handles(field):
+            return False
+        return field is self.field
+
+    def flux_residual(
+        self,
+        q: np.ndarray,
+        beta: float,
+        grad: np.ndarray | None = None,
+        limiter: np.ndarray | None = None,
+        scheme: str = "rusanov",
+    ) -> np.ndarray:
+        if self.inner is not None:
+            return self.inner.flux_residual(
+                q, beta, grad=grad, limiter=limiter, scheme=scheme
+            )
+        from ..cfd.flux import interior_flux_residual
+
+        with use_edge_backend(None):
+            return interior_flux_residual(
+                self.field, q, beta, grad, limiter, scheme=scheme
+            )
+
+    def gradients(self, q: np.ndarray) -> np.ndarray:
+        if self.inner is not None:
+            return self.inner.gradients(q)
+        from ..cfd.gradient import lsq_gradients
+
+        with use_edge_backend(None):
+            return lsq_gradients(self.field, q)
+
+    # -- fused extension -------------------------------------------------
+    def residual_pipeline(self, q: np.ndarray, config: FlowConfig):
+        """Interior ``(res, grad, phi)`` via the fused program."""
+        if self.inner is not None:
+            return self.inner.fused_pipeline(q, config)
+        return self.program.run(q, config)
+
+    def run_batch(self, q_batch: np.ndarray, configs):
+        """Trailing-axis multi-case interior evaluation (serve path)."""
+        return self.program.run_batch(q_batch, configs)
+
+    def fleet_stats(self) -> dict:
+        out = {"fused": True}
+        if self.inner is not None:
+            out.update(self.inner.fleet_stats())
+        return out
+
+    def close(self) -> None:
+        if self.inner is not None:
+            self.inner.close()

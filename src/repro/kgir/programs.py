@@ -1,0 +1,404 @@
+"""The residual pipeline lowered onto the kernel-graph IR.
+
+Stage layout (interior edges only; boundary closures live on separate
+corner index sets and stay outside the graph):
+
+.. code-block:: text
+
+    P0 init         zero rhs/res, qmin=qmax=q, phi=1
+    E1 grad.rhs     gather q        -> scatter-add  dx*dq outer into rhs
+    E2 limit.minmax gather q        -> scatter-min/max neighbor q
+    P1 grad.solve   grad = lsq_inv @ rhs;  eps2 = k^3 V;
+                    dmax/dmin = qmax/qmin - q
+    E3 limit.phi    gather grad,dmax,dmin,eps2 -> scatter-min phi;
+                    carries dproj (the per-edge gradient projections)
+    E4 flux         gather q,phi + carried dproj -> scatter-add into res
+
+The rewrite pass fuses ``E1+E2`` (same interior index set, disjoint
+writes): one shared gather of ``q`` feeds both the gradient accumulation
+and the neighbor min/max, the paper's single-pass write-out argument
+applied across kernels.  ``E3`` cannot join ``E4`` — ``E3`` scatters
+``phi`` and ``E4`` gathers it, a scatter->gather hazard the pass refuses —
+but ``E3`` *carries* its gradient projections forward as edge
+intermediates, so ``E4`` neither gathers ``grad`` (12 doubles per
+endpoint) nor recomputes the projection: reusing the exact array the
+producer computed is bitwise free.
+
+Every stage's arithmetic is copied verbatim from the oracle kernels in
+:mod:`repro.cfd.gradient` / :mod:`repro.cfd.flux` (same NumPy calls on
+identically laid-out inputs), additive scatters run through the field's
+own :class:`~repro.perf.scatter.ScatterPlan` objects, and the reference
+``ufunc.at`` min/max loops are replaced by the order-free (hence exactly
+equal) :class:`~repro.perf.scatter.SegmentReducePlan` — together that is
+what makes fused output bitwise-identical to the unfused pipeline.
+
+Batched evaluation (:meth:`ResidualProgram.run_batch`) stacks states on a
+trailing axis: each edge sweep gathers and scatters the whole batch once,
+while the per-edge arithmetic loops over contiguous per-case slices so
+every case reproduces its single-state result bitwise even with
+heterogeneous per-case configs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cfd.state import FlowConfig, FlowField
+from ..obs.span import kernel_span
+from ..perf.scatter import segment_reduce_plan
+from .ir import (
+    EdgeIndexSet,
+    EdgeStage,
+    FusedStage,
+    FusionReport,
+    Graph,
+    PointStage,
+    ScatterSpec,
+    fuse_graph,
+)
+
+__all__ = [
+    "ResidualProgram",
+    "residual_program",
+    "batched_residual",
+    "fusion_report",
+]
+
+#: per-vertex component counts, for the report's byte estimates
+_WIDTHS = {
+    "q": 4,
+    "grad": 12,
+    "qmin": 4,
+    "qmax": 4,
+    "eps2": 1,
+    "phi": 4,
+    "rhs": 12,
+    "res": 4,
+    "dmax": 4,
+    "dmin": 4,
+}
+
+
+def _interior_index_set(field: FlowField) -> EdgeIndexSet:
+    return field.plan(
+        "kgir.index",
+        lambda: EdgeIndexSet(name="interior", e0=field.e0, e1=field.e1),
+    )
+
+
+def _end_plans(field: FlowField):
+    """Per-endpoint segment min/max plans (targets ``e0`` and ``e1``).
+
+    min/max are order-free, so scattering each endpoint's contributions
+    through its own plan is bitwise equal to one pass over
+    ``concat(e0, e1)`` — and skips materializing the ``(2 ne, 4)``
+    concatenated value array every evaluation.
+    """
+    return field.plan(
+        "kgir.minmax",
+        lambda: (
+            segment_reduce_plan(
+                field.e0, field.n_vertices, name="kgir.minmax.e0"
+            ),
+            segment_reduce_plan(
+                field.e1, field.n_vertices, name="kgir.minmax.e1"
+            ),
+        ),
+    )
+
+
+def build_residual_graph(field: FlowField) -> Graph:
+    """Lower the second-order interior residual pipeline onto the IR."""
+    nv = field.n_vertices
+    idx = _interior_index_set(field)
+    mm0, mm1 = _end_plans(field)
+    dx = field.emid_d0 * 2.0  # x[e1] - x[e0], as in lsq_gradients
+
+    def init(cfg, env):
+        q = env["q"]
+        return {
+            "rhs": np.zeros((nv, 4, 3)),
+            "res": np.zeros((nv, 4)),
+            "qmin": q.copy(),
+            "qmax": q.copy(),
+            "phi": np.ones((nv, 4)),
+        }
+
+    def grad_rhs(cfg, g):
+        q0, q1 = g["q"]
+        dq = q1 - q0
+        return {"rhs_contrib": dq[:, :, None] * dx[:, None, :]}
+
+    def limit_minmax(cfg, g):
+        q0, q1 = g["q"]
+        # each endpoint sees the opposite endpoint's value
+        return {"nbr_at_e0": q1, "nbr_at_e1": q0}
+
+    def grad_solve(cfg, env):
+        # dmax/dmin are per-vertex differences; gathering them is bitwise
+        # equal to gathering qmax/qmin/q and subtracting per edge, and
+        # gathers two arrays instead of three
+        return {
+            "grad": np.einsum("nij,nvj->nvi", field.lsq_inv, env["rhs"]),
+            "eps2": (cfg.limiter_k**3) * field.volumes,
+            "dmax": env["qmax"] - env["q"],
+            "dmin": env["qmin"] - env["q"],
+        }
+
+    def limit_phi(cfg, g):
+        out = {}
+        for end, disp, tag in (
+            (0, field.emid_d0, "e0"), (1, field.emid_d1, "e1"),
+        ):
+            d2 = np.einsum("nvi,ni->nv", g["grad"][end], disp)
+            d1 = np.where(d2 > 0.0, g["dmax"][end], g["dmin"][end])
+            e2 = g["eps2"][end][:, None]
+            num = (d1 * d1 + e2) * d2 + 2.0 * d2 * d2 * d1
+            den = d2 * (d1 * d1 + 2.0 * d2 * d2 + d1 * d2 + e2)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                val = np.where(np.abs(d2) > 1e-14, num / den, 1.0)
+            out[f"phival_{tag}"] = np.clip(val, 0.0, 1.0)
+            out[f"dproj_{tag}"] = d2  # carried to the flux stage
+        return out
+
+    def flux(cfg, g):
+        from ..cfd.flux import numerical_edge_flux
+
+        # dproj_* are the carried gradient projections limit.phi computed —
+        # the exact arrays the unfused flux kernel would recompute from a
+        # fresh gather of grad
+        ql = g["q"][0] + g["dproj_e0"] * g["phi"][0]
+        qr = g["q"][1] + g["dproj_e1"] * g["phi"][1]
+        return {
+            "flux": numerical_edge_flux(
+                ql, qr, field.enormals, cfg.beta, cfg.dissipation
+            )
+        }
+
+    stages = [
+        PointStage(
+            name="init",
+            reads=("q",),
+            writes=("rhs", "res", "qmin", "qmax", "phi"),
+            compute=init,
+        ),
+        EdgeStage(
+            name="grad.rhs",
+            index_set=idx,
+            reads=("q",),
+            scatters=(
+                ScatterSpec("rhs_contrib", "rhs", "add", field.edge_sum_plan),
+            ),
+            compute=grad_rhs,
+        ),
+        EdgeStage(
+            name="limit.minmax",
+            index_set=idx,
+            reads=("q",),
+            scatters=(
+                ScatterSpec("nbr_at_e0", "qmin", "min", mm0),
+                ScatterSpec("nbr_at_e1", "qmin", "min", mm1),
+                ScatterSpec("nbr_at_e0", "qmax", "max", mm0),
+                ScatterSpec("nbr_at_e1", "qmax", "max", mm1),
+            ),
+            compute=limit_minmax,
+        ),
+        PointStage(
+            name="grad.solve",
+            reads=("rhs", "qmin", "qmax", "q"),
+            writes=("grad", "eps2", "dmax", "dmin"),
+            compute=grad_solve,
+        ),
+        EdgeStage(
+            name="limit.phi",
+            index_set=idx,
+            reads=("grad", "dmax", "dmin", "eps2"),
+            scatters=(
+                ScatterSpec("phival_e0", "phi", "min", mm0),
+                ScatterSpec("phival_e1", "phi", "min", mm1),
+            ),
+            compute=limit_phi,
+            carries=("dproj_e0", "dproj_e1"),
+        ),
+        EdgeStage(
+            name="flux",
+            index_set=idx,
+            reads=("q", "phi"),
+            scatters=(
+                ScatterSpec("flux", "res", "add", field.edge_diff_plan),
+            ),
+            compute=flux,
+            edge_reads=("dproj_e0", "dproj_e1"),
+        ),
+    ]
+    return Graph(stages, widths=_WIDTHS)
+
+
+def _apply_scatter(spec: ScatterSpec, values: np.ndarray, env: dict) -> None:
+    if spec.op == "add":
+        spec.plan.apply(values, out=env[spec.target], accumulate=True)
+    else:
+        spec.plan.apply(values, env[spec.target], op=spec.op)
+
+
+class ResidualProgram:
+    """Executable (optionally fused) interior residual program.
+
+    :meth:`run` evaluates one state; :meth:`run_batch` evaluates a
+    trailing-axis stack of states in shared sweeps.  Both return
+    ``(res, grad, phi)`` — the *interior* residual plus the
+    reconstruction byproducts the caller needs for Jacobians and
+    diagnostics.  Boundary closures are separate index sets and are added
+    by :func:`repro.cfd.residual.compute_residual` /
+    :func:`batched_residual`.
+    """
+
+    def __init__(self, field: FlowField, fuse: bool = True):
+        self.field = field
+        self.fuse = bool(fuse)
+        self.graph = build_residual_graph(field)
+        if self.fuse:
+            self.exec_graph, self.report = fuse_graph(self.graph)
+        else:
+            self.exec_graph = self.graph
+            self.report = self.graph.report(self.graph)
+
+    # ------------------------------------------------------------------
+    def run(self, q: np.ndarray, config: FlowConfig):
+        env: dict[str, np.ndarray] = {"q": q}
+        edge_env: dict[str, np.ndarray] = {}
+        for node in self.exec_graph.stages:
+            with kernel_span(f"kgir.{node.name}"):
+                self._run_node(node, env, config, edge_env)
+        return env["res"], env["grad"], env["phi"]
+
+    def _run_node(self, node, env: dict, cfg: FlowConfig, edge_env) -> None:
+        if isinstance(node, PointStage):
+            env.update(node.compute(cfg, {r: env[r] for r in node.reads}))
+            return
+        members = node.members if isinstance(node, FusedStage) else (node,)
+        idx = node.index_set
+        gathered = {
+            name: (env[name][idx.e0], env[name][idx.e1])
+            for name in node.reads
+        }
+        for m in members:
+            g = {r: gathered[r] for r in m.reads}
+            for r in m.edge_reads:
+                g[r] = edge_env[r]
+            outs = m.compute(cfg, g)
+            for spec in m.scatters:
+                _apply_scatter(spec, outs[spec.src], env)
+            for name in m.carries:
+                edge_env[name] = outs[name]
+
+    # ------------------------------------------------------------------
+    def run_batch(self, q_batch: np.ndarray, configs):
+        """Evaluate ``q_batch`` of shape ``(n_vertices, 4, n_cases)``.
+
+        Each edge sweep gathers and scatters the full batch once; the
+        per-edge arithmetic runs per case on contiguous slices with that
+        case's :class:`FlowConfig`, so case ``b``'s outputs are bitwise
+        equal to ``run(q_batch[..., b], configs[b])``.
+        """
+        n_cases = q_batch.shape[-1]
+        if len(configs) != n_cases:
+            raise ValueError("one FlowConfig per batched case required")
+        env: dict[str, np.ndarray] = {"q": np.ascontiguousarray(q_batch)}
+        edge_env: dict[str, list] = {}  # name -> per-case edge arrays
+        for node in self.exec_graph.stages:
+            with kernel_span(f"kgir.{node.name}", cases=float(n_cases)):
+                self._run_node_batch(node, env, configs, n_cases, edge_env)
+        return env["res"], env["grad"], env["phi"]
+
+    def _run_node_batch(self, node, env, configs, n_cases, edge_env) -> None:
+        def contig(a):
+            return np.ascontiguousarray(a)
+
+        if isinstance(node, PointStage):
+            per_case = []
+            for b in range(n_cases):
+                view = {r: contig(env[r][..., b]) for r in node.reads}
+                per_case.append(node.compute(configs[b], view))
+            for name in per_case[0]:
+                env[name] = np.stack(
+                    [out[name] for out in per_case], axis=-1
+                )
+            return
+        members = node.members if isinstance(node, FusedStage) else (node,)
+        idx = node.index_set
+        # one gather of the whole batch per read array
+        gathered = {
+            name: (env[name][idx.e0], env[name][idx.e1])
+            for name in node.reads
+        }
+        for m in members:
+            per_case = []
+            for b in range(n_cases):
+                g = {
+                    r: (
+                        contig(gathered[r][0][..., b]),
+                        contig(gathered[r][1][..., b]),
+                    )
+                    for r in m.reads
+                }
+                for r in m.edge_reads:
+                    g[r] = edge_env[r][b]
+                per_case.append(m.compute(configs[b], g))
+            for spec in m.scatters:
+                stacked = np.stack(
+                    [out[spec.src] for out in per_case], axis=-1
+                )
+                _apply_scatter(spec, stacked, env)
+            for name in m.carries:
+                edge_env[name] = [out[name] for out in per_case]
+
+
+def residual_program(field: FlowField, fuse: bool = True) -> ResidualProgram:
+    """Cached :class:`ResidualProgram` for ``field``."""
+    return field.plan(
+        f"kgir.program.fuse={bool(fuse)}",
+        lambda: ResidualProgram(field, fuse=fuse),
+    )
+
+
+def fusion_report(field: FlowField) -> FusionReport:
+    """What fusing the residual pipeline on ``field`` eliminates."""
+    return residual_program(field, fuse=True).report
+
+
+def batched_residual(field: FlowField, q_batch: np.ndarray, configs):
+    """Full residual (interior + boundary) for a trailing-axis case batch.
+
+    Returns ``(res, grad, phi)`` stacks of shape ``(nv, 4, B)``,
+    ``(nv, 4, 3, B)``, ``(nv, 4, B)``.  Case ``b`` is bitwise equal to the
+    serial ``compute_residual(field, q_batch[..., b], configs[b])``:
+    interior comes from the shared fused sweep, then each case adds its
+    boundary closures in the oracle's order.
+    """
+    from ..cfd.boundary import farfield_residual, wall_residual
+    from ..cfd.state import freestream_state
+
+    if not all(cfg.second_order for cfg in configs):
+        raise ValueError(
+            "batched_residual lowers the second-order pipeline; "
+            "first-order cases must go through compute_residual"
+        )
+    prog = residual_program(field, fuse=True)
+    res, grad, phi = prog.run_batch(q_batch, configs)
+    full = np.empty_like(res)
+    for b, cfg in enumerate(configs):
+        qb = np.ascontiguousarray(q_batch[..., b])
+        rb = np.ascontiguousarray(res[..., b])
+        rb += wall_residual(field, qb, "wall")
+        rb += wall_residual(field, qb, "sym")
+        rb += farfield_residual(
+            field, qb, freestream_state(cfg), cfg.beta,
+            scheme=cfg.dissipation,
+        )
+        if cfg.mu > 0.0:
+            from ..cfd.viscous import viscous_residual
+
+            rb += viscous_residual(field, qb, cfg.mu, field.visc_coeffs)
+        full[..., b] = rb
+    return full, grad, phi

@@ -61,7 +61,13 @@ class FlightRecorder:
 
     # ------------------------------------------------------------------
     def _resolve_dir(self) -> str:
-        return self.out_dir or os.environ.get(ENV_DIR) or os.getcwd()
+        out = (
+            self.out_dir
+            or os.environ.get(ENV_DIR)
+            or os.path.join(os.getcwd(), ".flightrec")
+        )
+        os.makedirs(out, exist_ok=True)
+        return out
 
     def dump(
         self,

@@ -18,7 +18,13 @@ process and multiplexes solve requests onto them:
 * :mod:`.bench` — cold-vs-warm throughput benchmark feeding the CI gate.
 """
 
-from .batcher import CaseResult, solve_cases, sweep_grid
+from .batcher import (
+    CaseResult,
+    EvaluationResult,
+    evaluate_cases,
+    solve_cases,
+    sweep_grid,
+)
 from .cache import ExecutionConfig, WarmCache, WarmFamily
 from .client import ServeClient, ServeError, wait_for_socket
 from .daemon import SERVE_SLOTS, ServeDaemon
@@ -40,6 +46,7 @@ __all__ = [
     "AdmissionQueue",
     "CaseResult",
     "CaseSpec",
+    "EvaluationResult",
     "ExecutionConfig",
     "FamilySpec",
     "Job",
@@ -55,6 +62,7 @@ __all__ = [
     "WarmCache",
     "WarmFamily",
     "error_response",
+    "evaluate_cases",
     "ok_response",
     "parse_cases",
     "read_frame",

@@ -16,6 +16,13 @@ Newton/Krylov path, bitwise-identical structures — property-tested in
 :func:`sweep_grid` expands ``{"aoa": [0, 2, 4], "beta": [2, 4]}`` into the
 cartesian case list the ``repro submit --sweep`` convenience fans into the
 daemon's queue.
+
+:func:`evaluate_cases` is the cheap sibling of :func:`solve_cases`: one
+*batched* fused residual sweep (``repro.kgir.batched_residual``) over the
+k cases' freestream states — k residual norms and force coefficients for
+one pass over the edge arrays instead of k solves.  Same numerics
+contract: each case's residual is bitwise what a lone
+:func:`~repro.cfd.residual.compute_residual` would return.
 """
 
 from __future__ import annotations
@@ -27,7 +34,13 @@ from dataclasses import dataclass
 from .cache import WarmFamily
 from .protocol import CaseSpec, ProtocolError
 
-__all__ = ["CaseResult", "solve_cases", "sweep_grid"]
+__all__ = [
+    "CaseResult",
+    "EvaluationResult",
+    "evaluate_cases",
+    "solve_cases",
+    "sweep_grid",
+]
 
 
 @dataclass
@@ -117,6 +130,67 @@ def solve_cases(
     )
     with cm:
         return [_solve_one(family, case) for case in cases]
+
+
+@dataclass
+class EvaluationResult:
+    """JSON-ready outcome of one batched residual evaluation."""
+
+    case: dict
+    residual_norm: float
+    residual_max: float
+    cl: float
+    cd: float
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "residual_norm": self.residual_norm,
+            "residual_max": self.residual_max,
+            "forces": {"cl": self.cl, "cd": self.cd},
+        }
+
+
+def evaluate_cases(
+    family: WarmFamily, cases: list[CaseSpec]
+) -> list[EvaluationResult]:
+    """Batched freestream residual evaluation over ``cases``.
+
+    All k cases share the family's warm field, so the fused program
+    gathers the edge endpoints once per stage for the whole batch
+    (trailing-axis batching, see :mod:`repro.kgir`) and only the per-case
+    arithmetic is repeated.  The per-case residuals are bitwise identical
+    to k independent :func:`~repro.cfd.residual.compute_residual` calls.
+    """
+    import numpy as np
+
+    from ..cfd import integrate_forces
+    from ..kgir import batched_residual
+
+    if family.decomp is not None:
+        raise ProtocolError(
+            "'evaluate' is not supported for distributed families"
+        )
+    field = family.field
+    configs = [case.flow_config() for case in cases]
+    q_batch = np.stack(
+        [field.initial_state(cfg) for cfg in configs], axis=-1
+    )
+    res, _grad, _phi = batched_residual(field, q_batch, configs)
+    out = []
+    for b, (case, cfg) in enumerate(zip(cases, configs)):
+        rb = np.ascontiguousarray(res[..., b])
+        forces = integrate_forces(
+            field, np.ascontiguousarray(q_batch[..., b]), cfg
+        )
+        out.append(EvaluationResult(
+            case=case.to_dict(),
+            residual_norm=float(np.linalg.norm(rb)),
+            residual_max=float(np.abs(rb).max()),
+            cl=float(forces.cl),
+            cd=float(forces.cd),
+        ))
+    return out
 
 
 def sweep_grid(base: dict, sweep: dict[str, list]) -> list[CaseSpec]:

@@ -43,6 +43,10 @@ class ExecutionConfig:
     sparse_backend: str = "serial"  # serial | process
     sparse_strategy: str = "p2p"
     sparse_workers: int = 2
+    #: "on" routes residual evaluation through the fused kernel-graph
+    #: programs (repro.kgir) — bitwise-identical, fewer edge passes, and
+    #: batched multi-case evaluation for the "evaluate" op
+    fuse: str = "off"  # off | on
 
 
 class WarmFamily:
@@ -79,6 +83,15 @@ class WarmFamily:
                 strategy=execution.edge_strategy,
                 partitioner=execution.partitioner,
                 seed=spec.seed,
+            )
+        if execution.fuse == "on" and spec.dist_ranks == 0:
+            from ..kgir import FusedEdgeBackend
+
+            # wraps the process fleet when one exists; the fused program
+            # (and its segment plans) is compiled once and cached on the
+            # warm field like every other plan
+            self.edge_backend = FusedEdgeBackend(
+                self.field, inner=self.edge_backend
             )
         self.decomp = None
         if spec.dist_ranks > 0:

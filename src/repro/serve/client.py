@@ -105,6 +105,21 @@ class ServeClient:
             req["deadline_s"] = deadline_s
         return self.request(req)
 
+    def evaluate(
+        self,
+        family: dict | None = None,
+        cases: list[dict] | None = None,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Batched residual evaluation (no solve): one fused sweep for
+        all cases over the warm family."""
+        req = {
+            "op": "evaluate", "family": family or {}, "cases": cases or [{}],
+        }
+        if deadline_s is not None:
+            req["deadline_s"] = deadline_s
+        return self.request(req)
+
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})
 

@@ -37,7 +37,7 @@ import socket
 import threading
 import time
 
-from .batcher import solve_cases
+from .batcher import evaluate_cases, solve_cases
 from .cache import ExecutionConfig, WarmCache
 from .protocol import (
     PROTOCOL_VERSION,
@@ -333,7 +333,7 @@ class ServeDaemon:
                 return ok_response("shutdown")
             finally:
                 pass
-        if op in ("solve", "batch"):
+        if op in ("solve", "batch", "evaluate"):
             return self._enqueue_and_wait(op, req)
         self._count_error()
         return error_response(404, f"unknown op {op!r}")
@@ -344,6 +344,10 @@ class ServeDaemon:
             cases = parse_cases(req)
             if op == "solve" and len(cases) != 1:
                 raise ProtocolError("'solve' takes exactly one case")
+            if op == "evaluate" and family.dist_ranks > 0:
+                raise ProtocolError(
+                    "'evaluate' is not supported for distributed families"
+                )
         except ProtocolError as exc:
             self._count_error()
             return error_response(400, str(exc))
@@ -420,7 +424,10 @@ class ServeDaemon:
                 dataset=job.family.dataset,
             ):
                 with family.lock:
-                    results = solve_cases(family, job.cases)
+                    if job.op == "evaluate":
+                        results = evaluate_cases(family, job.cases)
+                    else:
+                        results = solve_cases(family, job.cases)
         wall = time.perf_counter() - t0
         self._telem(adds={"completed": 1.0, "busy_seconds": wall})
         with self._stats_lock:

@@ -32,6 +32,11 @@ def use_edge_backend(backend):
     ``flux_residual(q, beta, grad=, limiter=, scheme=)`` and
     ``gradients(q)``; kernels fall back to their sequential path whenever
     ``handles`` declines (different field, unsupported configuration).
+    A backend may additionally provide
+    ``residual_pipeline(q, config) -> (res, grad, phi)`` — when present,
+    :func:`repro.cfd.residual.compute_residual` runs the whole interior
+    second-order pipeline through it as one fused kernel-graph program
+    (see :mod:`repro.kgir`) instead of separate per-kernel calls.
     """
     depth = len(_stack)
     _stack.append(backend)

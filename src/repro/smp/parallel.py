@@ -94,8 +94,14 @@ class _WorkerSpec:
     limiter: np.ndarray
     res: np.ndarray
     rhs: np.ndarray
+    qmin: np.ndarray | None = dc_field(default=None)  # fused pipeline
+    qmax: np.ndarray | None = dc_field(default=None)
+    eps2: np.ndarray | None = dc_field(default=None)
+    mm_plan: Any = None  # SegmentReducePlan over this worker's write set
     acc: np.ndarray | None = dc_field(default=None)  # this worker's slab
     acc_rhs: np.ndarray | None = dc_field(default=None)
+    acc_min: np.ndarray | None = dc_field(default=None)
+    acc_max: np.ndarray | None = dc_field(default=None)
     telem: Any = None  # TelemetryWriter | None
 
 
@@ -150,6 +156,63 @@ def _run_grad(spec: _WorkerSpec, lock):
                 np.add.at(spec.rhs, e1[s:e], contrib[s:e])
 
 
+def _scatter_minmax(spec: _WorkerSpec, lock, vals, shared, acc_slab, op):
+    """Fold per-edge ``vals`` into the vertex array ``shared`` with the
+    strategy's write-out discipline.  min/max are IEEE-exact in any order,
+    so every strategy reproduces the serial ``ufunc.at`` result bitwise."""
+    ident = np.inf if op == "min" else -np.inf
+    ufunc = np.minimum if op == "min" else np.maximum
+    if spec.strategy == "owner":
+        spec.mm_plan.apply(vals, shared, op)  # disjoint owned rows
+    elif spec.strategy == "replicate":
+        acc_slab.fill(ident)
+        spec.mm_plan.apply(vals, acc_slab, op)  # parent reduces slabs
+    else:  # locked: local fold, one lock round-trip to merge
+        tmp = np.full(shared.shape, ident)
+        spec.mm_plan.apply(vals, tmp, op)
+        with lock:
+            ufunc(shared, tmp, out=shared)
+
+
+def _run_recon(spec: _WorkerSpec, lock):
+    """Fused reconstruction sweep: the gradient-rhs accumulation plus the
+    neighbor min/max fold in one pass over this worker's edges (one shared
+    gather of ``q`` instead of two)."""
+    _run_grad(spec, lock)
+    qe0 = spec.q[spec.e0]
+    qe1 = spec.q[spec.e1]
+    if spec.strategy == "owner":
+        # the owner of each endpoint contributes its neighbor's value
+        vals = np.concatenate([qe1[spec.w0], qe0[spec.w1]], axis=0)
+    else:
+        vals = np.concatenate([qe1, qe0], axis=0)
+    _scatter_minmax(spec, lock, vals, spec.qmin, spec.acc_min, "min")
+    _scatter_minmax(spec, lock, vals, spec.qmax, spec.acc_max, "max")
+
+
+def _run_limit(spec: _WorkerSpec, lock):
+    """Fused limiter sweep: Venkat limiter values per edge end (same
+    arithmetic as :func:`repro.cfd.gradient.venkat_limiter`), folded into
+    the shared ``limiter`` array by scatter-min."""
+    vals = []
+    for e, disp in ((spec.e0, spec.d0), (spec.e1, spec.d1)):
+        d2 = np.einsum("nvi,ni->nv", spec.grad[e], disp)
+        dmax = spec.qmax[e] - spec.q[e]
+        dmin = spec.qmin[e] - spec.q[e]
+        d1 = np.where(d2 > 0.0, dmax, dmin)
+        e2 = spec.eps2[e][:, None]
+        num = (d1 * d1 + e2) * d2 + 2.0 * d2 * d2 * d1
+        den = d2 * (d1 * d1 + 2.0 * d2 * d2 + d1 * d2 + e2)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            val = np.where(np.abs(d2) > 1e-14, num / den, 1.0)
+        vals.append(np.clip(val, 0.0, 1.0))
+    if spec.strategy == "owner":
+        v = np.concatenate([vals[0][spec.w0], vals[1][spec.w1]], axis=0)
+    else:
+        v = np.concatenate(vals, axis=0)
+    _scatter_minmax(spec, lock, v, spec.limiter, spec.acc_min, "min")
+
+
 def _worker_loop(wid: int, spec: _WorkerSpec, conn, lock) -> None:
     """Worker main: serve tasks off the duplex pipe until ``None`` arrives."""
     telem = spec.telem
@@ -173,6 +236,10 @@ def _worker_loop(wid: int, spec: _WorkerSpec, conn, lock) -> None:
                 _run_flux(spec, lock, beta, scheme, use_grad, use_limiter)
             elif kind == "grad":
                 _run_grad(spec, lock)
+            elif kind == "recon":
+                _run_recon(spec, lock)
+            elif kind == "limit":
+                _run_limit(spec, lock)
             elif kind == "sleep":  # test/diagnostic hook
                 time.sleep(task[2])
             else:
@@ -256,6 +323,7 @@ class ProcessEdgeBackend:
         self._seq = 0
         self._flux_rounds = 0
         self._grad_rounds = 0
+        self._fused_rounds = 0
 
         nv, ne = field.n_vertices, field.n_edges
         w = self.n_workers
@@ -267,13 +335,20 @@ class ProcessEdgeBackend:
         limiter = self._pool.zeros("limiter", (nv, 4))
         res = self._pool.zeros("res", (nv, 4))
         rhs = self._pool.zeros("rhs", (nv, 4, 3))
-        acc = acc_rhs = None
+        qmin = self._pool.zeros("qmin", (nv, 4))
+        qmax = self._pool.zeros("qmax", (nv, 4))
+        eps2 = self._pool.zeros("eps2", (nv,))
+        acc = acc_rhs = acc_min = acc_max = None
         if strategy == "replicate":
             acc = self._pool.zeros("acc", (w, nv, 4))
             acc_rhs = self._pool.zeros("acc_rhs", (w, nv, 4, 3))
+            acc_min = self._pool.zeros("acc_min", (w, nv, 4))
+            acc_max = self._pool.zeros("acc_max", (w, nv, 4))
         self._q, self._grad, self._limiter = q, grad, limiter
         self._res, self._rhs = res, rhs
+        self._qmin, self._qmax, self._eps2 = qmin, qmax, eps2
         self._acc, self._acc_rhs = acc, acc_rhs
+        self._acc_min, self._acc_max = acc_min, acc_max
 
         self._plane = None
         writers: list[Any] = [None] * w
@@ -320,17 +395,32 @@ class ProcessEdgeBackend:
         self._lock = ctx.Lock()
         self._conns = []
         self._workers = []
+        from ..perf.scatter import segment_reduce_plan
+
         for s in range(w):
             m = masks[s]
             sel = chunks[s]
+            ce0 = np.ascontiguousarray(field.e0[sel])
+            ce1 = np.ascontiguousarray(field.e1[sel])
+            # scatter-min/max write set of this worker's fused sweeps:
+            # owner writes only owned endpoint rows, the others fold
+            # every endpoint of their chunk (into a slab / under the lock)
+            mm_targets = (
+                np.concatenate([ce0[m[0]], ce1[m[1]]])
+                if m
+                else np.concatenate([ce0, ce1])
+            )
+            mm_plan = segment_reduce_plan(
+                mm_targets, nv, name=f"kgir.minmax.w{s}"
+            )
             spec = _WorkerSpec(
                 wid=s,
                 strategy=strategy,
                 lock_block=int(lock_block),
                 w0=m[0] if m else None,
                 w1=m[1] if m else None,
-                e0=np.ascontiguousarray(field.e0[sel]),
-                e1=np.ascontiguousarray(field.e1[sel]),
+                e0=ce0,
+                e1=ce1,
                 normals=np.ascontiguousarray(field.enormals[sel]),
                 d0=np.ascontiguousarray(field.emid_d0[sel]),
                 d1=np.ascontiguousarray(field.emid_d1[sel]),
@@ -340,8 +430,14 @@ class ProcessEdgeBackend:
                 limiter=limiter,
                 res=res,
                 rhs=rhs,
+                qmin=qmin,
+                qmax=qmax,
+                eps2=eps2,
+                mm_plan=mm_plan,
                 acc=acc[s] if acc is not None else None,
                 acc_rhs=acc_rhs[s] if acc_rhs is not None else None,
+                acc_min=acc_min[s] if acc_min is not None else None,
+                acc_max=acc_max[s] if acc_max is not None else None,
                 telem=writers[s],
             )
             parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -401,6 +497,7 @@ class ProcessEdgeBackend:
             "rounds": self._seq,
             "flux_rounds": self._flux_rounds,
             "grad_rounds": self._grad_rounds,
+            "fused_rounds": self._fused_rounds,
             "closed": self._closed,
         }
 
@@ -539,6 +636,52 @@ class ProcessEdgeBackend:
             else self._rhs
         )
         return np.einsum("nij,nvj->nvi", self._field.lsq_inv, rhs)
+
+    def fused_pipeline(self, q: np.ndarray, config):
+        """Fused interior pipeline on the worker fleet: two fused edge
+        sweeps (``recon`` = gradient rhs + neighbor min/max, ``limit`` =
+        Venkat values + scatter-min) and the flux sweep, with the 3x3 LSQ
+        solve and slab reductions in the parent between dispatches.
+
+        Returns ``(res, grad, phi)`` — bitwise identical to running
+        :meth:`gradients`, the serial limiter and :meth:`flux_residual`
+        separately (min/max folds are order-free exact; everything else
+        replays the same statements in the same order).
+        """
+        self._require_usable()
+        replicate = self.strategy == "replicate"
+        self._q[...] = q
+        if not replicate:
+            self._rhs.fill(0.0)
+        self._qmin[...] = q
+        self._qmax[...] = q
+        self._dispatch_collect(("recon",), span_prefix="kgir.recon")
+        rhs = self._acc_rhs.sum(axis=0) if replicate else self._rhs
+        if replicate:
+            np.minimum(q, self._acc_min.min(axis=0), out=self._qmin)
+            np.maximum(q, self._acc_max.max(axis=0), out=self._qmax)
+        self._grad[...] = np.einsum(
+            "nij,nvj->nvi", self._field.lsq_inv, rhs
+        )
+        self._eps2[...] = (config.limiter_k**3) * self._field.volumes
+        self._limiter.fill(1.0)
+        self._dispatch_collect(("limit",), span_prefix="kgir.limit")
+        if replicate:
+            np.minimum(
+                self._limiter,
+                self._acc_min.min(axis=0),
+                out=self._limiter,
+            )
+        if not replicate:
+            self._res.fill(0.0)
+        self._dispatch_collect(
+            ("flux", float(config.beta), config.dissipation, True, True),
+            span_prefix="kgir.flux",
+        )
+        get_metrics().counter("parallel.fused_calls").inc()
+        self._fused_rounds += 1
+        res = self._acc.sum(axis=0) if replicate else self._res.copy()
+        return res, self._grad.copy(), self._limiter.copy()
 
     def _debug_sleep(self, seconds: float) -> None:
         """Park every worker in a sleep task (test hook for mid-loop kills)."""

@@ -292,6 +292,46 @@ class TestDistributedSolve:
         leaked = [n for n in os.listdir("/dev/shm") if n.startswith("psm_")]
         assert leaked == []
 
+    def test_fused_rank_program_bitwise_matches_unfused(self, wing_solve):
+        """The kgir-style fused rank program (shared recon/minmax pass,
+        precompiled limiter scatter) is an execution detail, never a
+        numerics change."""
+        mesh = wing_solve["mesh"]
+        opts = SolverOptions(max_steps=6, steady_rtol=1e-11)
+        runs = {
+            fuse: distributed_solve(
+                FlowField(mesh), FlowConfig(), opts, n_ranks=2,
+                pipelined=False, seed=0, fuse=fuse,
+            )
+            for fuse in (False, True)
+        }
+        assert np.array_equal(runs[True].result.q, runs[False].result.q)
+
+    def test_red_width_follows_gmres_restart(self):
+        """Regression: deep GMRES restarts used to hit the fixed 64-slot
+        reduction-scratch ceiling mid-solve."""
+        from repro.dist.runtime.driver import _red_width_for
+
+        assert _red_width_for(SolverOptions()) == 64
+        assert _red_width_for(SolverOptions(gmres_restart=40)) == 64
+        assert _red_width_for(SolverOptions(gmres_restart=96)) == 98
+        assert _red_width_for(SolverOptions(gmres_restart=200)) == 202
+
+    def test_restart_96_solve_no_red_slot_ceiling(self, wing_solve):
+        """End-to-end: restart 96 forces reductions wider than the old
+        fixed scratch; the widened allreduce ring must absorb them."""
+        mesh, serial = wing_solve["mesh"], wing_solve["serial"]
+        opts = SolverOptions(
+            max_steps=40, steady_rtol=1e-11, steady_atol=1e-13,
+            gmres_restart=96,
+        )
+        ref = solve_steady(FlowField(mesh), FlowConfig(), opts)
+        dres = distributed_solve(
+            FlowField(mesh), FlowConfig(), opts, n_ranks=2, seed=0,
+        )
+        assert dres.result.converged
+        assert np.max(np.abs(dres.result.q - ref.q)) <= 1e-10
+
 
 class TestSpans:
     def _solve_spans(self, pipelined):

@@ -1,0 +1,353 @@
+"""Property tests for the kernel-graph IR (repro.kgir).
+
+The contract under test: the fused single-pass programs are **bitwise
+identical** to the unfused gradient/limiter/flux oracle — across meshes,
+vertex orderings, serial and process execution, and trailing-axis batch
+widths — and the rewrite pass refuses every merge it cannot prove exact
+(mismatched index sets, scatter->gather hazards, write-write overlap).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfd import FlowConfig, FlowField, compute_residual
+from repro.cfd.flux import interior_flux_residual
+from repro.cfd.gradient import lsq_gradients, venkat_limiter
+from repro.kgir import (
+    EdgeIndexSet,
+    EdgeStage,
+    FusedEdgeBackend,
+    FusionError,
+    Graph,
+    PointStage,
+    ScatterSpec,
+    batched_residual,
+    fuse_graph,
+    fuse_stages,
+    fusion_report,
+    residual_program,
+)
+from repro.mesh import dataset_mesh, wing_mesh
+from repro.perf.scatter import segment_reduce_plan
+from repro.smp import ProcessEdgeBackend, use_edge_backend
+from repro.smp.bench import (
+    FUSION_SCHEMA,
+    append_history,
+    fusion_gate_failures,
+    load_history,
+    rolling_fusion_gate_failures,
+    run_fusion,
+)
+
+_FIELDS: dict = {}
+
+
+def _field(kind: str, ordering: str) -> FlowField:
+    """Small meshes cached across examples (hypothesis re-enters often)."""
+    key = (kind, ordering)
+    if key not in _FIELDS:
+        scale = 0.02 if kind == "wing" else 0.04
+        _FIELDS[key] = FlowField(
+            dataset_mesh(kind, scale=scale, seed=5, ordering=ordering)
+        )
+    return _FIELDS[key]
+
+
+def _state(field: FlowField, cfg: FlowConfig, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return field.initial_state(cfg) + 0.05 * rng.normal(
+        size=(field.n_vertices, 4)
+    )
+
+
+def _oracle(field: FlowField, q: np.ndarray, cfg: FlowConfig):
+    """The unfused three-kernel reference sequence."""
+    grad = lsq_gradients(field, q)
+    phi = venkat_limiter(field, q, grad, k=cfg.limiter_k)
+    res = interior_flux_residual(
+        field, q, cfg.beta, grad, phi, scheme=cfg.dissipation
+    )
+    return res, grad, phi
+
+
+# ---------------------------------------------------------------------------
+# fused == unfused, bitwise (the acceptance property)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    kind=st.sampled_from(["wing", "mesh-c"]),
+    ordering=st.sampled_from(["natural", "rcm"]),
+    seed=st.integers(0, 50),
+    aoa=st.sampled_from([0.0, 2.0]),
+    scheme=st.sampled_from(["rusanov", "roe"]),
+)
+def test_program_bitwise_equals_oracle(kind, ordering, seed, aoa, scheme):
+    field = _field(kind, ordering)
+    cfg = FlowConfig(aoa_deg=aoa, dissipation=scheme)
+    q = _state(field, cfg, seed)
+    res0, grad0, phi0 = _oracle(field, q, cfg)
+    for fuse in (False, True):
+        res, grad, phi = residual_program(field, fuse=fuse).run(q, cfg)
+        assert np.array_equal(res, res0), f"res differs (fuse={fuse})"
+        assert np.array_equal(grad, grad0), f"grad differs (fuse={fuse})"
+        assert np.array_equal(phi, phi0), f"phi differs (fuse={fuse})"
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    ordering=st.sampled_from(["natural", "rcm"]),
+    width=st.integers(1, 4),
+    seed=st.integers(0, 20),
+)
+def test_batched_residual_bitwise_per_case(ordering, width, seed):
+    """One trailing-axis batched sweep == each case's full residual."""
+    field = _field("wing", ordering)
+    configs = [
+        FlowConfig(
+            aoa_deg=float(b), beta=2.0 + b % 2,
+            dissipation="roe" if b % 2 else "rusanov",
+        )
+        for b in range(width)
+    ]
+    q_batch = np.stack(
+        [_state(field, cfg, seed + b) for b, cfg in enumerate(configs)],
+        axis=-1,
+    )
+    res, grad, phi = batched_residual(field, q_batch, configs)
+    assert res.shape == (field.n_vertices, 4, width)
+    for b, cfg in enumerate(configs):
+        qb = np.ascontiguousarray(q_batch[..., b])
+        ref = compute_residual(field, qb, cfg)
+        assert np.array_equal(np.ascontiguousarray(res[..., b]), ref)
+
+
+def test_batched_residual_rejects_first_order():
+    field = _field("wing", "natural")
+    cfg = FlowConfig(second_order=False)
+    q = field.initial_state(cfg)[..., None]
+    with pytest.raises(ValueError, match="second-order"):
+        batched_residual(field, q, [cfg])
+
+
+# ---------------------------------------------------------------------------
+# backend hook: serial and process execution
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def wing_setup():
+    mesh = wing_mesh(n_around=16, n_radial=5, n_span=4)
+    field = FlowField(mesh)
+    cfg = FlowConfig(aoa_deg=2.0)
+    q = _state(field, cfg, 3)
+    return field, q, cfg
+
+
+def test_fused_backend_serial_bitwise(wing_setup):
+    field, q, cfg = wing_setup
+    ref = compute_residual(field, q, cfg)
+    backend = FusedEdgeBackend(field)
+    with use_edge_backend(backend):
+        got = compute_residual(field, q, cfg)
+    assert np.array_equal(got, ref)
+    assert backend.fleet_stats()["fused"] is True
+
+
+def test_fused_backend_process_owner_bitwise(wing_setup):
+    """Owner-writes keeps the reference accumulation order per vertex, so
+    the fused pipeline over worker processes stays bitwise-exact."""
+    field, q, cfg = wing_setup
+    ref = compute_residual(field, q, cfg)
+    with ProcessEdgeBackend(field, n_workers=2, strategy="owner") as inner:
+        fused = FusedEdgeBackend(field, inner=inner)
+        with use_edge_backend(fused):
+            got = compute_residual(field, q, cfg)
+    assert np.array_equal(got, ref)
+
+
+@pytest.mark.parametrize("strategy", ["replicate", "locked"])
+def test_fused_backend_process_tolerance_strategies(wing_setup, strategy):
+    """Replicated/locked accumulation reorders the additive folds, so the
+    fused pipeline promises the same tolerance as the unfused one there."""
+    field, q, cfg = wing_setup
+    ref = compute_residual(field, q, cfg)
+    with ProcessEdgeBackend(field, n_workers=2, strategy=strategy) as inner:
+        fused = FusedEdgeBackend(field, inner=inner)
+        with use_edge_backend(fused):
+            got = compute_residual(field, q, cfg)
+    assert np.max(np.abs(got - ref)) < 1e-10
+
+
+def test_first_order_bypasses_fused_pipeline(wing_setup):
+    """The preconditioner-side first-order residual never routes through
+    the program (it has no gradients/limiter to fuse)."""
+    field, q, cfg = wing_setup
+    ref = compute_residual(field, q, cfg, first_order=True)
+    with use_edge_backend(FusedEdgeBackend(field)):
+        got = compute_residual(field, q, cfg, first_order=True)
+    assert np.array_equal(got, ref)
+
+
+# ---------------------------------------------------------------------------
+# rewrite pass: legality
+# ---------------------------------------------------------------------------
+
+
+def _idx(name="interior", n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return EdgeIndexSet(
+        name=name, e0=rng.integers(0, 5, n), e1=rng.integers(0, 5, n)
+    )
+
+
+def _edge(name, idx, reads=("q",), writes=("res",), edge_reads=(),
+          carries=()):
+    return EdgeStage(
+        name=name,
+        index_set=idx,
+        reads=tuple(reads),
+        scatters=tuple(
+            ScatterSpec(src=f"{w}_src", target=w, op="add", plan=None)
+            for w in writes
+        ),
+        compute=lambda cfg, g: {},
+        edge_reads=tuple(edge_reads),
+        carries=tuple(carries),
+    )
+
+
+class TestFusionLegality:
+    def test_mismatched_index_sets_refused(self):
+        a = _edge("a", _idx("interior"))
+        b = _edge("b", _idx("boundary", seed=1), writes=("other",))
+        with pytest.raises(FusionError, match="index sets differ"):
+            fuse_stages([a, b])
+
+    def test_scatter_gather_hazard_refused(self):
+        idx = _idx()
+        a = _edge("a", idx, writes=("phi",))
+        b = _edge("b", idx, reads=("q", "phi"), writes=("res",))
+        with pytest.raises(FusionError, match="scatter->gather hazard"):
+            fuse_stages([a, b])
+
+    def test_write_write_overlap_refused(self):
+        idx = _idx()
+        with pytest.raises(FusionError, match="write-write overlap"):
+            fuse_stages([_edge("a", idx), _edge("b", idx)])
+
+    def test_point_stage_refused(self):
+        point = PointStage(
+            name="p", reads=(), writes=("x",), compute=lambda c, e: {}
+        )
+        with pytest.raises(FusionError, match="not an edge stage"):
+            fuse_stages([_edge("a", _idx()), point])
+
+    def test_legal_fusion_dedups_reads_and_merges_writes(self):
+        idx = _idx()
+        a = _edge("a", idx, reads=("q",), writes=("rhs",), carries=("d",))
+        b = _edge("b", idx, reads=("q", "w"), writes=("res",),
+                  edge_reads=("d", "ext"))
+        fused = fuse_stages([a, b])
+        assert fused.name == "a+b"
+        assert fused.reads == ("q", "w")  # shared gather, deduped
+        assert fused.writes == ("rhs", "res")
+        assert fused.carries == ("d",)
+        # 'd' resolves inside the shared sweep; only 'ext' is external
+        assert fused.edge_reads == ("ext",)
+
+    def test_graph_rewrite_splits_at_point_barriers(self):
+        idx = _idx()
+        point = PointStage(
+            name="solve", reads=("rhs",), writes=("grad",),
+            compute=lambda c, e: {},
+        )
+        g = Graph([
+            _edge("a", idx, writes=("rhs",)),
+            point,
+            _edge("b", idx, reads=("grad",), writes=("res",)),
+        ])
+        fused, report = fuse_graph(g)
+        # nothing adjacent to fuse across the barrier: structure unchanged
+        assert [s.name for s in fused.stages] == ["a", "solve", "b"]
+        assert report.stages_before == report.stages_after == 3
+        assert report.groups == ()
+
+
+def test_residual_graph_fuses_recon_with_minmax():
+    field = _field("wing", "natural")
+    rep = fusion_report(field)
+    assert rep.stages_before == 6 and rep.stages_after == 5
+    assert ("grad.rhs", "limit.minmax") in rep.groups
+    assert rep.bytes_saved > 0
+    text = rep.text()
+    assert "grad.rhs + limit.minmax" in text and "MB" in text
+
+
+# ---------------------------------------------------------------------------
+# segment reduce plans (the min/max scatter engine under the limiter)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 200),
+    n_targets=st.integers(1, 30),
+    n_values=st.integers(0, 200),
+    width=st.sampled_from([1, 4]),
+)
+def test_segment_reduce_plan_matches_ufunc_at(seed, n_targets, n_values,
+                                              width):
+    rng = np.random.default_rng(seed)
+    targets = rng.integers(0, n_targets, size=n_values)
+    values = rng.normal(size=(n_values, width) if width > 1 else (n_values,))
+    plan = segment_reduce_plan(targets, n_targets)
+    for op, ufunc, init in (
+        ("min", np.minimum, np.inf),
+        ("max", np.maximum, -np.inf),
+    ):
+        shape = (n_targets, width) if width > 1 else (n_targets,)
+        ref = np.full(shape, init)
+        ufunc.at(ref, targets, values)
+        out = np.full(shape, init)
+        plan.apply(values, out, op)
+        assert np.array_equal(out, ref)
+
+
+# ---------------------------------------------------------------------------
+# bench doc + gates (what CI's fusion step runs)
+# ---------------------------------------------------------------------------
+
+
+def test_run_fusion_doc_and_gates(tmp_path):
+    meshes = [
+        dataset_mesh("wing", scale=s, seed=5) for s in (0.015, 0.02)
+    ]
+    doc = run_fusion(meshes, repeats=1, seed=3, dataset="wing", scale=0.02)
+    assert doc["schema"] == FUSION_SCHEMA
+    assert len(doc["results"]) == 2
+    for row in doc["results"]:
+        assert row["strategy"] == "fused"
+        assert row["max_abs_dev"] == 0.0  # bitwise, not approximately
+        assert row["stages_before"] == 6 and row["stages_after"] == 5
+        assert row["bytes_saved"] > 0
+        assert row["gather_bytes_fused"] < row["gather_bytes_unfused"]
+    # speedup gate: trivially passable and trivially failable bounds
+    assert fusion_gate_failures(doc, min_speedup=0.0) == []
+    failures = fusion_gate_failures(doc, min_speedup=1e9)
+    assert failures and "fused pipeline" in failures[0]
+    # rolling gate: no history falls back to the absolute checks ...
+    assert rolling_fusion_gate_failures(doc, [], min_speedup=0.0) == []
+    # ... and with history the comparable fused cells bound the trend
+    hist_path = tmp_path / "hist.jsonl"
+    append_history(doc, str(hist_path))
+    history = load_history(str(hist_path))
+    assert rolling_fusion_gate_failures(
+        doc, history, max_regression=10.0, min_speedup=0.0
+    ) == []
+    assert rolling_fusion_gate_failures(
+        doc, history, max_regression=0.0, min_speedup=0.0
+    )  # its own wall can't beat a 0x regression bound

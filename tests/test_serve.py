@@ -296,6 +296,47 @@ def test_daemon_solve_warm_hit_and_batch_consistency(daemon):
         assert stats["completed"] >= 3
 
 
+def test_evaluate_cases_bitwise_per_case(warm_family):
+    """One fused batched sweep == each case's own compute_residual."""
+    from repro.cfd import compute_residual
+    from repro.serve import evaluate_cases
+
+    cases = [
+        CaseSpec(aoa=0.0, beta=4.0),
+        CaseSpec(aoa=3.0, beta=2.0, tag="pitched"),
+        CaseSpec(aoa=-2.0, dissipation="roe"),
+    ]
+    results = evaluate_cases(warm_family, cases)
+    assert [r.case.get("tag") for r in results][1] == "pitched"
+    field = warm_family.field
+    for case, r in zip(cases, results):
+        cfg = case.flow_config()
+        ref = compute_residual(field, field.initial_state(cfg), cfg)
+        assert r.residual_norm == float(np.linalg.norm(ref))
+        assert r.residual_max == float(np.abs(ref).max())
+        d = r.to_dict()
+        assert {"case", "residual_norm", "residual_max", "forces"} <= set(d)
+        assert d["forces"]["cl"] == r.cl and d["forces"]["cd"] == r.cd
+
+
+def test_daemon_evaluate_roundtrip_and_dist_rejection(daemon):
+    with ServeClient(daemon.socket_path) as c:
+        resp = c.evaluate(
+            family=FAMILY, cases=[dict(aoa=0.0), dict(aoa=2.0)]
+        )
+        assert resp["ok"] and len(resp["results"]) == 2
+        r0, r1 = resp["results"]
+        assert r0["residual_norm"] > 0.0 and r1["residual_norm"] > 0.0
+        assert r0["residual_norm"] != r1["residual_norm"]
+        # evaluation never runs the solver: no converged/steps keys
+        assert "converged" not in r0 and "steps" not in r0
+        # distributed families have no single shared-memory state batch
+        with pytest.raises(ServeError) as ei:
+            c.evaluate(family=dict(FAMILY, dist_ranks=2), cases=[{}])
+        assert ei.value.code == 400
+        assert "distributed" in ei.value.message
+
+
 def test_daemon_malformed_payload_is_400_connection_survives(daemon):
     with ServeClient(daemon.socket_path) as c:
         with pytest.raises(ServeError) as ei:
