@@ -8,9 +8,17 @@ Commands
 ``speedup``     price a run under baseline + optimized configs (Fig 8a)
 ``scaling``     multi-node strong-scaling table (Fig 9-11)
 ``partition``   partition-quality study (natural / RCB / multilevel)
+``calibrate``   micro-benchmark this host, fit the cost-model constants,
+                write ``.repro_calibration.json`` (read by ``--tune`` and
+                the bench model columns)
 ``bench``       measured flux-kernel scaling sweep -> BENCH_flux_scaling.json
                 (``bench report`` prints the trend table of ``--history``)
 ``top``         live per-rank/per-worker view of a running solve's metrics
+
+``solve``/``profile``/``serve`` accept ``--tune``: the host-calibrated
+cost model picks edge strategy, worker counts, sparse strategy, fusion,
+ordering and (for serve) the evaluate batch width per mesh, never slower
+than the static flags by construction.
 
 ``solve`` and ``profile`` accept ``--backend process --workers N`` to run
 the flux/gradient edge loops across real worker processes over shared
@@ -122,6 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "fewer edge passes; composes with --backend process and "
                  "--dist-ranks"
         )
+        sp.add_argument(
+            "--tune", action="store_true",
+            help="let the calibrated auto-tuner (repro.tune) pick backend/"
+                 "strategy/workers/fusion/ordering for this mesh; the "
+                 "flags above become the fallback default candidate"
+        )
+        sp.add_argument(
+            "--calibration", default="", metavar="PATH",
+            help="calibration file for --tune and the bench cost models "
+                 "(default: .repro_calibration.json; analytic paper model "
+                 "when absent or from another host)"
+        )
 
     def add_dist_args(sp):
         sp.add_argument(
@@ -182,6 +202,22 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("partition", help="partition quality study")
     add_mesh_args(sp)
     sp.add_argument("--parts", type=int, default=20)
+
+    sp = sub.add_parser(
+        "calibrate",
+        help="micro-benchmark this host and fit the cost-model constants",
+    )
+    sp.add_argument("--out", default=".repro_calibration.json",
+                    metavar="PATH",
+                    help="calibration file to write (what --tune and the "
+                         "bench cost models read back)")
+    sp.add_argument("--fast", action="store_true",
+                    help="smoke mode: smaller arrays, fewer repeats "
+                         "(seconds instead of a minute; noisier constants)")
+    sp.add_argument("--seed", type=int, default=7)
+    sp.add_argument("--max-threads", type=int, default=0,
+                    help="cap the bandwidth/barrier thread sweeps "
+                         "(0 = cpu count)")
 
     sp = sub.add_parser(
         "serve",
@@ -290,7 +326,8 @@ def build_parser() -> argparse.ArgumentParser:
              "(levels vs p2p synchronization) -> BENCH_trsv_scaling.json"
     )
     sp.add_argument(
-        "--kernel", choices=["flux", "trsv", "scatter", "serve", "fusion"],
+        "--kernel",
+        choices=["flux", "trsv", "scatter", "serve", "fusion", "tune"],
         default="flux",
         help="'scatter' benches the precompiled gather-scatter plans "
              "against the np.add.at reference across mesh sizes -> "
@@ -299,7 +336,20 @@ def build_parser() -> argparse.ArgumentParser:
              "daemon throughput against cold one-shot `repro solve` "
              "runs -> BENCH_serve_throughput.json; 'fusion' benches the "
              "fused kernel-graph residual against the unfused three-kernel "
-             "sequence across mesh sizes -> BENCH_fusion.json"
+             "sequence across mesh sizes -> BENCH_fusion.json; 'tune' "
+             "measures the auto-tuned configuration against the static "
+             "default (never-slower gate) -> BENCH_tune.json"
+    )
+    sp.add_argument(
+        "--calibration", default="", metavar="PATH",
+        help="calibration file for the model columns and --kernel tune "
+             "(default: .repro_calibration.json; analytic paper model "
+             "when absent or from another host)"
+    )
+    sp.add_argument(
+        "--all-hosts", action="store_true",
+        help="'report' mode: include history records from other hosts "
+             "(default: only this host's fingerprint)"
     )
     sp.add_argument(
         "--engine", choices=["csr", "bincount", "addat"], default=None,
@@ -332,7 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "slowdown bound")
     sp.add_argument("--dist-ranks", type=int, default=0, metavar="N",
                     help="also measure a short N-rank distributed solve's "
-                         "comm/compute breakdown")
+                         "comm/compute breakdown (--kernel trsv: a "
+                         "ranks x sparse-workers sweep up to N ranks "
+                         "instead)")
     sp.add_argument("--pipelined", action="store_true",
                     help="pipelined comm/compute overlap for --dist-ranks")
     return p
@@ -555,6 +607,44 @@ def _print_dist_breakdown(dres) -> None:
     )
 
 
+def _apply_tune(args, obs=None) -> None:
+    """``--tune``: replace the backend args with the tuner's choice.
+
+    The flags the user passed stay the tuner's default candidate, so an
+    explicit ``--backend process --workers 8`` is only overridden when the
+    calibrated model predicts a clear win (see ``repro.tune.tuner``).  The
+    chosen plan is printed and logged as a ``tune.plan`` trace event.
+    """
+    from .smp.bench import load_history
+    from .tune import active_model, tune_solve
+
+    machine, cal = active_model(getattr(args, "calibration", "") or None)
+    cfg = tune_solve(
+        _make_mesh(args), machine, cal,
+        load_history(".bench_history.jsonl"),
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        ilu_fill=args.ilu, ordering=getattr(args, "ordering", "natural"),
+        allow_dist=getattr(args, "dist_ranks", 0) == 0,
+    )
+    args.backend = cfg.edge_backend
+    args.workers = max(cfg.workers, 1)
+    args.edge_strategy = cfg.edge_strategy
+    args.partitioner = cfg.partitioner
+    args.fuse = cfg.fuse
+    args.ordering = cfg.ordering
+    args.sparse_backend = cfg.sparse_backend
+    args.sparse_strategy = cfg.sparse_strategy
+    args.sparse_workers = cfg.sparse_workers
+    if cfg.dist_ranks > 0 and getattr(args, "dist_ranks", 0) == 0:
+        args.dist_ranks = cfg.dist_ranks
+    print(cfg.summary())
+    if obs is not None:
+        attrs = {
+            k: v for k, v in cfg.to_dict().items() if k != "candidates"
+        }
+        obs.tracer.event("tune.plan", **attrs)
+
+
 def _run_solve(args, obs=None):
     from contextlib import nullcontext
 
@@ -562,6 +652,8 @@ def _run_solve(args, obs=None):
     from .cfd import FlowConfig
     from .solver import SolverOptions
 
+    if getattr(args, "tune", False):
+        _apply_tune(args, obs)
     mesh = _make_mesh(args)
     sparse_backend = getattr(args, "sparse_backend", "serial")
     sparse_workers = getattr(args, "sparse_workers", 0) or args.workers
@@ -855,9 +947,11 @@ def cmd_partition(args) -> int:
     return 0
 
 
-def _bench_trsv(args, mesh, worker_list, repeats) -> dict:
+def _bench_trsv(args, mesh, worker_list, repeats, machine=None,
+                calibrated=False) -> dict:
     """TRSV-sweep branch of ``bench``: measured process ILU/TRSV scaling."""
     from .smp.bench import run_trsv_scaling
+    from .smp.machine import XEON_E5_2690_V2
 
     return run_trsv_scaling(
         mesh,
@@ -867,7 +961,33 @@ def _bench_trsv(args, mesh, worker_list, repeats) -> dict:
         seed=args.seed,
         dataset=args.dataset,
         scale=args.scale,
+        machine=machine or XEON_E5_2690_V2,
+        calibrated=calibrated,
     )
+
+
+def _print_rank_worker_sweep(rows: list[dict]) -> None:
+    from .perf import format_table
+
+    table = [
+        [
+            f"{r['n_ranks']}x{r['sparse_workers']}",
+            f"{1e3 * r['wall_seconds']:.1f}",
+            f"{100 * r['halo_fraction']:.1f}%",
+            f"{100 * r['allreduce_fraction']:.1f}%",
+            (
+                f"{100 * r['allreduce_model_rel_error']:.0f}%"
+                if r.get("allreduce_model_rel_error") is not None
+                else "-"
+            ),
+        ]
+        for r in rows
+    ]
+    print(format_table(
+        ["ranks x workers", "wall ms", "halo", "allreduce", "model err"],
+        table,
+        title="measured ranks x sparse-workers splits (dist_sweep)",
+    ))
 
 
 def _print_trsv_table(args, mesh, doc, repeats) -> None:
@@ -1099,6 +1219,59 @@ def cmd_top(args) -> int:
     return rc
 
 
+def cmd_calibrate(args) -> int:
+    """``repro calibrate``: fit the cost model to this host and save it."""
+    import time
+
+    from .perf import format_table
+    from .tune import run_calibration, save_calibration
+
+    mode = "fast" if args.fast else "full"
+    print(f"calibrating host ({mode} sweep) ...")
+    t0 = time.perf_counter()
+    cal = run_calibration(
+        fast=args.fast,
+        max_threads=args.max_threads or None,
+        seed=args.seed,
+    )
+    elapsed = time.perf_counter() - t0
+    save_calibration(cal, args.out)
+
+    m = cal.model
+    rows = [
+        ["n_cores", f"{m.n_cores}", "cpu count"],
+        ["freq_hz", f"{m.freq_hz:.3e}", "effective cycles/s from the "
+                                        "serial flux kernel"],
+        ["core_bw", f"{m.core_bw / 1e9:.2f} GB/s", "1-thread STREAM triad"],
+        ["stream_bw", f"{m.stream_bw / 1e9:.2f} GB/s",
+         "best multi-thread STREAM triad"],
+        ["stall_per_load", f"{m.stall_per_load:.2f} cy",
+         "sorted gather latency"],
+        ["unordered_latency_factor", f"{m.unordered_latency_factor:.2f}",
+         "shuffled/sorted gather ratio"],
+        ["flops_per_cycle_simd", f"{m.flops_per_cycle_simd:.2f}",
+         "block TRSV rate"],
+        ["ilu_rate_factor", f"{m.ilu_rate_factor:.2f}",
+         "ILU factorization rate"],
+        ["barrier_base_ns", f"{m.barrier_base_ns:.0f} ns",
+         "threading.Barrier sweep"],
+        ["p2p_sync_ns", f"{m.p2p_sync_ns:.0f} ns",
+         "shared-flag ping-pong"],
+        ["dispatch_ns", f"{m.dispatch_ns:.0f} ns",
+         "fork + pipe round trip"],
+        ["allreduce_stage_cost", f"{cal.allreduce_stage_cost:.2e} s",
+         "forked-rank scatter-gather (per tree stage)"],
+    ]
+    print(format_table(
+        ["constant", "fitted", "measured from"],
+        rows,
+        title=f"{m.name}: calibrated in {elapsed:.1f} s ({mode})",
+    ))
+    print(f"wrote {args.out} (used by --tune and the bench model columns "
+          f"on this host)")
+    return 0
+
+
 def _cmd_bench_report(args) -> int:
     """``repro bench report``: per-kernel trend table of the history file."""
     from .perf import format_table
@@ -1109,6 +1282,18 @@ def _cmd_bench_report(args) -> int:
     if not records:
         print(f"no history records in {path}")
         return 1
+    hidden = 0
+    if not getattr(args, "all_hosts", False):
+        from .obs.live.fingerprint import same_host
+
+        here = [r for r in records if same_host(r.get("host"))]
+        hidden = len(records) - len(here)
+        if not here:
+            print(f"no records from this host in {path} "
+                  f"({hidden} from other hosts or unfingerprinted; "
+                  f"--all-hosts to include them)")
+            return 1
+        records = here
     rows = [
         [
             r["kind"], str(r["dataset"]), r["cell"], str(r["runs"]),
@@ -1123,8 +1308,9 @@ def _cmd_bench_report(args) -> int:
         ["kind", "dataset", "cell", "runs", "median ms", "last ms",
          "delta", "verdict"],
         rows,
-        title=f"bench trends from {path} ({len(records)} records, "
-              f"rolling median of last 5)",
+        title=f"bench trends from {path} ({len(records)} records"
+              + (f", {hidden} other-host hidden" if hidden else "")
+              + ", rolling median of last 5)",
     ))
     if any(r[-1] == "regressed" for r in rows):
         return 1
@@ -1203,6 +1389,77 @@ def _bench_serve(args) -> int:
     return 0
 
 
+def _bench_tune(args) -> int:
+    """--kernel tune: auto-tuned vs static-default solve (never-slower)."""
+    from .perf import format_table
+    from .smp.bench import append_history, load_history, write_bench_json
+    from .tune import (
+        active_model,
+        rolling_tune_gate_failures,
+        run_tune_bench,
+        tune_gate_failures,
+    )
+
+    if args.out == "BENCH_flux_scaling.json":  # only the untouched default
+        args.out = "BENCH_tune.json"
+    machine, cal = active_model(getattr(args, "calibration", "") or None)
+    history = load_history(args.history) if args.history else []
+    doc = run_tune_bench(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        ilu=args.ilu,
+        max_steps=3 if args.quick else 5,
+        machine=machine,
+        cal=cal,
+        history=history,
+    )
+    write_bench_json(doc, args.out)
+
+    rows = [
+        [
+            r["strategy"], str(r["workers"]),
+            f"{1e3 * r['wall_seconds']:.1f}",
+            f"{1e3 * r['model_seconds']:.1f}",
+            f"{100 * r['model_rel_error']:.0f}%",
+            f"{r['max_abs_dev']:.1e}",
+        ]
+        for r in doc["results"]
+    ]
+    tuned = doc["tuned"]
+    print(format_table(
+        ["strategy", "workers", "wall ms", "model ms", "rel err",
+         "max dev"],
+        rows,
+        title=f"{args.dataset}: tuned vs default "
+              f"({tuned['predicted_speedup']:.2f}x predicted, "
+              f"{tuned['source']}, machine: {doc['machine']}"
+              f"{', calibrated' if doc['calibrated'] else ''})",
+    ))
+    print(f"wrote {args.out}")
+
+    if args.gate:
+        if history:
+            failures = rolling_tune_gate_failures(
+                doc, history, max_regression=args.gate_slowdown,
+            )
+            gate_kind = "never-slower + rolling-median trend"
+        else:
+            failures = tune_gate_failures(doc)
+            gate_kind = "never-slower"
+        for msg in failures:
+            print(f"GATE FAIL: {msg}")
+        if failures:
+            return 1
+        print(f"GATE OK: tuned config no slower than default, forces "
+              f"identical ({gate_kind})")
+    if args.history:
+        append_history(doc, args.history)
+        print(f"appended trend record to {args.history} "
+              f"({len(history) + 1} total)")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .perf import format_table
     from .smp.bench import (
@@ -1216,6 +1473,7 @@ def cmd_bench(args) -> int:
         rolling_trsv_gate_failures,
         write_bench_json,
     )
+    from .tune import active_model, calibrated_fabric
 
     if args.mode == "report":
         return _cmd_bench_report(args)
@@ -1241,13 +1499,32 @@ def cmd_bench(args) -> int:
     if args.kernel == "serve":
         return _bench_serve(args)
 
+    if args.kernel == "tune":
+        return _bench_tune(args)
+
+    machine, cal = active_model(getattr(args, "calibration", "") or None)
     mesh = _make_mesh(args)
     if args.sparse_backend == "process" or args.kernel == "trsv":
         if args.out == "BENCH_flux_scaling.json":  # only the untouched default
             args.out = "BENCH_trsv_scaling.json"
-        doc = _bench_trsv(args, mesh, worker_list, repeats)
+        doc = _bench_trsv(args, mesh, worker_list, repeats,
+                          machine=machine, calibrated=cal is not None)
+        if args.dist_ranks > 0:
+            from .smp.bench import run_rank_worker_sweep
+
+            pairs = []
+            r = 2
+            while r <= args.dist_ranks:
+                pairs.append((r, max(args.dist_ranks // r, 1)))
+                r *= 2
+            doc["dist_sweep"] = run_rank_worker_sweep(
+                mesh, pairs or [(args.dist_ranks, 1)], seed=args.seed,
+                fabric=calibrated_fabric(cal, machine),
+            )
         write_bench_json(doc, args.out)
         _print_trsv_table(args, mesh, doc, repeats)
+        if "dist_sweep" in doc:
+            _print_rank_worker_sweep(doc["dist_sweep"])
         history = load_history(args.history) if args.history else []
         if args.gate:
             if args.history:
@@ -1284,11 +1561,13 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         dataset=args.dataset,
         scale=args.scale,
+        machine=machine,
+        calibrated=cal is not None,
     )
     if args.dist_ranks > 0:
         doc["dist"] = run_dist_breakdown(
             mesh, n_ranks=args.dist_ranks, pipelined=args.pipelined,
-            seed=args.seed,
+            seed=args.seed, fabric=calibrated_fabric(cal, machine),
         )
     write_bench_json(doc, args.out)
 
@@ -1362,6 +1641,8 @@ def cmd_serve(args) -> int:
         sparse_strategy=args.sparse_strategy,
         sparse_workers=args.sparse_workers or args.workers,
         fuse=args.fuse,
+        tune="on" if args.tune else "off",
+        calibration=args.calibration,
     )
     daemon = ServeDaemon(
         args.socket,
@@ -1518,6 +1799,7 @@ _COMMANDS = {
     "speedup": cmd_speedup,
     "scaling": cmd_scaling,
     "partition": cmd_partition,
+    "calibrate": cmd_calibrate,
     "bench": cmd_bench,
     "top": cmd_top,
     "serve": cmd_serve,

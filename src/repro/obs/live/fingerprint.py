@@ -12,9 +12,36 @@ import platform
 import subprocess
 import sys
 
-__all__ = ["host_fingerprint"]
+__all__ = ["host_fingerprint", "stable_host_key", "same_host"]
 
 _cached: dict | None = None
+
+#: fingerprint fields that identify *hardware + numerics stack*.
+#: Deliberately excludes ``git_rev`` (changes per commit) and the full
+#: ``platform`` string (kernel patch level churns on CI runners) —
+#: calibration files and history-gate comparisons stay valid across
+#: commits on the same box but never cross machines.
+STABLE_KEYS = ("cpu_count", "machine", "python", "numpy")
+
+
+def stable_host_key(fp: dict | None = None) -> dict:
+    """The fingerprint subset performance comparisons are valid across."""
+    fp = fp if fp is not None else host_fingerprint()
+    return {k: fp.get(k) for k in STABLE_KEYS}
+
+
+def same_host(a: dict | None, b: dict | None = None) -> bool:
+    """Do two fingerprints describe the same hardware + stack?
+
+    Records with no fingerprint are never comparable (``False``), so
+    pre-fingerprint history degrades to the fixed gates rather than
+    polluting a rolling median with another machine's walls.
+    """
+    if not a:
+        return False
+    return stable_host_key(a) == stable_host_key(
+        b if b is not None else host_fingerprint()
+    )
 
 
 def _git_rev() -> str | None:

@@ -35,9 +35,9 @@ import time
 
 import numpy as np
 
-from ..obs.live.fingerprint import host_fingerprint
+from ..obs.live.fingerprint import host_fingerprint, same_host
 from .cost import edge_loop_time, flux_kernel_work
-from .machine import XEON_E5_2690_V2
+from .machine import XEON_E5_2690_V2, MachineModel
 from .parallel import ProcessEdgeBackend
 from .strategies import (
     EdgeLoopExecutor,
@@ -59,6 +59,7 @@ __all__ = [
     "run_scatter_kernels",
     "run_fusion",
     "run_dist_breakdown",
+    "run_rank_worker_sweep",
     "gate_failures",
     "trsv_gate_failures",
     "scatter_gate_failures",
@@ -106,14 +107,29 @@ def _time_call(fn, repeats: int) -> float:
     return best
 
 
+def _rel_error(model: float | None, wall: float) -> float | None:
+    """Measured-vs-predicted relative error every BENCH record reports."""
+    if model is None or wall <= 0.0:
+        return None
+    return abs(model - wall) / wall
+
+
+def _model_info(machine: MachineModel, calibrated: bool) -> dict:
+    """Which machine model priced this document's predictions."""
+    return {"machine": machine.name, "calibrated": bool(calibrated)}
+
+
 def _model_seconds(mesh_edges, n_vertices, label: str, workers: int,
-                   seed: int) -> float | None:
+                   seed: int,
+                   machine: MachineModel = XEON_E5_2690_V2) -> float | None:
     """Cost-model prediction for one measured configuration.
 
     ``locked`` maps to the model's ``atomic`` strategy, ``owner-*`` to the
     model's owner-writes ``replicate`` strategy with the matching labels.
     The per-worker-accumulator ``replicate`` strategy has no counterpart in
-    the paper's model set, so it gets no prediction.
+    the paper's model set, so it gets no prediction.  ``machine`` defaults
+    to the paper's Xeon; the CLI passes the host-calibrated model when a
+    valid ``.repro_calibration.json`` exists.
     """
     strategy, partitioner = _split(label)
     if workers <= 1:
@@ -132,7 +148,7 @@ def _model_seconds(mesh_edges, n_vertices, label: str, workers: int,
     else:
         return None
     work = flux_kernel_work(mesh_edges.shape[0])
-    return edge_loop_time(XEON_E5_2690_V2, work, make_edge_loop_options(ex))
+    return edge_loop_time(machine, work, make_edge_loop_options(ex))
 
 
 def run_flux_scaling(
@@ -144,10 +160,16 @@ def run_flux_scaling(
     seed: int = 7,
     dataset: str = "?",
     scale: float = 0.0,
+    machine: MachineModel = XEON_E5_2690_V2,
+    calibrated: bool = False,
 ) -> dict:
     """Sweep workers x strategies over the real flux edge loop.
 
     Returns the JSON-ready document described in the module docstring.
+    ``machine`` prices the ``model_seconds`` column (pass the
+    host-calibrated model to make ``model_rel_error`` meaningful);
+    ``calibrated`` is recorded in ``doc["model"]`` so readers know which
+    constants produced the predictions.
     """
     from ..cfd.flux import interior_flux_residual
     from ..cfd.state import FlowField
@@ -175,6 +197,9 @@ def run_flux_scaling(
                 dev = float(np.max(np.abs(res - ref)))
                 wall = _time_call(lambda: be.flux_residual(q, beta), repeats)
                 redundant = float(be.redundant_edge_fraction)
+            model = _model_seconds(
+                mesh.edges, mesh.n_vertices, label, w, seed, machine
+            )
             results.append({
                 "strategy": label,
                 "workers": int(w),
@@ -182,9 +207,8 @@ def run_flux_scaling(
                 "speedup": serial_wall / wall,
                 "redundant_edge_fraction": redundant,
                 "max_abs_dev": dev,
-                "model_seconds": _model_seconds(
-                    mesh.edges, mesh.n_vertices, label, w, seed
-                ),
+                "model_seconds": model,
+                "model_rel_error": _rel_error(model, wall),
             })
 
     # telemetry overhead: the reference configuration once with the live
@@ -219,6 +243,9 @@ def run_flux_scaling(
         "overhead_fraction": walls[True] / walls[False] - 1.0,
     }
 
+    serial_model = _model_seconds(
+        mesh.edges, mesh.n_vertices, "sequential", 1, seed, machine
+    )
     return {
         "schema": SCHEMA,
         "dataset": dataset,
@@ -229,7 +256,12 @@ def run_flux_scaling(
         "repeats": int(repeats),
         "beta": beta,
         "host": host_fingerprint(),
-        "serial": {"wall_seconds": serial_wall},
+        "model": _model_info(machine, calibrated),
+        "serial": {
+            "wall_seconds": serial_wall,
+            "model_seconds": serial_model,
+            "model_rel_error": _rel_error(serial_model, serial_wall),
+        },
         "telemetry": telemetry,
         "results": results,
     }
@@ -255,7 +287,8 @@ def _trsv_matrix(mesh, seed: int, b: int = 4):
 
 
 def _trsv_model_seconds(
-    plan, strategy: str, workers: int
+    plan, strategy: str, workers: int,
+    machine: MachineModel = XEON_E5_2690_V2,
 ) -> tuple[float, float, int]:
     """Cost-model (trsv_seconds, ilu_seconds, cross_deps) for one cell.
 
@@ -267,7 +300,9 @@ def _trsv_model_seconds(
     from .cost import ilu_time, trsv_time
     from .strategies import tri_solve_options_from_plan
 
-    model_strategy = {"levels": "level", "p2p": "p2p"}[strategy]
+    model_strategy = {
+        "levels": "level", "p2p": "p2p", "sequential": "sequential"
+    }[strategy]
     opts = tri_solve_options_from_plan(plan, model_strategy, workers)
     cross = 0
     if workers > 1:
@@ -276,9 +311,9 @@ def _trsv_model_seconds(
             opts.cross_deps = cross
     nnzb = plan.cols.shape[0]
     return (
-        trsv_time(XEON_E5_2690_V2, nnzb, plan.n, plan.b, opts),
+        trsv_time(machine, nnzb, plan.n, plan.b, opts),
         ilu_time(
-            XEON_E5_2690_V2, plan.factor_block_ops(), nnzb, plan.n, plan.b,
+            machine, plan.factor_block_ops(), nnzb, plan.n, plan.b,
             opts,
         ),
         int(cross),
@@ -294,6 +329,8 @@ def run_trsv_scaling(
     seed: int = 7,
     dataset: str = "?",
     scale: float = 0.0,
+    machine: MachineModel = XEON_E5_2690_V2,
+    calibrated: bool = False,
 ) -> dict:
     """Sweep workers x sync strategies over process-parallel ILU+TRSV.
 
@@ -333,7 +370,7 @@ def run_trsv_scaling(
                 )
                 trsv_wall = _time_call(lambda: be.solve(pf, rhs), repeats)
             trsv_model, ilu_model, cross = _trsv_model_seconds(
-                plan, strategy, w
+                plan, strategy, w, machine
             )
             results.append({
                 "strategy": strategy,
@@ -347,8 +384,13 @@ def run_trsv_scaling(
                 "cross_deps": cross,
                 "trsv_model_seconds": trsv_model,
                 "ilu_model_seconds": ilu_model,
+                "model_rel_error": _rel_error(trsv_model, trsv_wall),
+                "ilu_model_rel_error": _rel_error(ilu_model, ilu_wall),
             })
     sched = plan.schedule
+    serial_trsv_model, serial_ilu_model, _ = _trsv_model_seconds(
+        plan, "sequential", 1, machine
+    )
     return {
         "schema": TRSV_SCHEMA,
         "dataset": dataset,
@@ -359,12 +401,17 @@ def run_trsv_scaling(
         "nnzb": int(plan.cols.shape[0]),
         "repeats": int(repeats),
         "host": host_fingerprint(),
+        "model": _model_info(machine, calibrated),
         "n_levels": len(sched.levels),
         "max_level_width": int(sched.max_level_width),
         "serial": {
             "wall_seconds": serial_trsv,
             "trsv_wall_seconds": serial_trsv,
             "ilu_wall_seconds": serial_ilu,
+            "model_seconds": serial_trsv_model,
+            "model_rel_error": _rel_error(serial_trsv_model, serial_trsv),
+            "ilu_model_seconds": serial_ilu_model,
+            "ilu_model_rel_error": _rel_error(serial_ilu_model, serial_ilu),
         },
         "results": results,
     }
@@ -611,12 +658,16 @@ def run_dist_breakdown(
     pipelined: bool = True,
     max_steps: int = 3,
     seed: int = 7,
+    fabric=None,
 ) -> dict:
     """Measured comm/compute breakdown of a short distributed solve.
 
     Runs ``max_steps`` Newton steps of the rank runtime and returns the
     critical-path (max over ranks) halo / allreduce / interior seconds and
-    fractions — the measured data point next to the Fig 10 model.
+    fractions — the measured data point next to the Fig 10 model.  With a
+    ``fabric`` (a :class:`~repro.dist.network.FatTreeNetwork`, e.g. the
+    host-calibrated local one), the record also carries the comm model's
+    predicted allreduce wall and its relative error.
     """
     from ..cfd.state import FlowConfig, FlowField
     from ..dist.runtime import distributed_solve
@@ -634,12 +685,85 @@ def run_dist_breakdown(
         pipelined=pipelined,
         seed=seed,
     )
-    return {
+    doc = {
         "n_ranks": int(dres.n_ranks),
         "pipelined": bool(pipelined),
         "steps": int(dres.result.steps),
         **dres.comm_breakdown(),
     }
+    allreduces = max(
+        (int(rs.get("allreduces", 0)) for rs in dres.rank_stats), default=0
+    )
+    doc["allreduces"] = allreduces
+    if fabric is not None and allreduces > 0:
+        # each solver reduction moves one scalar (8 B) per rank; the
+        # measured wall is the critical-path allreduce_seconds
+        model = allreduces * fabric.allreduce_time(8.0, dres.n_ranks)
+        doc["allreduce_model_seconds"] = model
+        doc["allreduce_model_rel_error"] = _rel_error(
+            model, doc.get("allreduce_seconds", 0.0)
+        )
+    return doc
+
+
+def run_rank_worker_sweep(
+    mesh,
+    rank_worker_pairs,
+    max_steps: int = 2,
+    seed: int = 7,
+    fabric=None,
+) -> list[dict]:
+    """Measured ranks x sparse-workers splits of a short distributed solve.
+
+    The Fig 11 question — how to split a core budget between ranks and
+    threads — measured on the real runtime: each ``(ranks, sparse_workers)``
+    pair runs ``max_steps`` Newton steps with the sparse fleet nested
+    inside every rank.  Rows land in ``BENCH_trsv_scaling.json`` under
+    ``dist_sweep`` and double as validation data for the tuner's
+    ranks-vs-workers pricing (``allreduce_model_*`` when a fabric is
+    given).
+    """
+    from ..cfd.state import FlowConfig, FlowField
+    from ..dist.runtime import distributed_solve
+    from ..solver.newton import SolverOptions
+
+    rows = []
+    for n_ranks, sparse_workers in rank_worker_pairs:
+        field = FlowField(mesh)
+        opts = SolverOptions(
+            max_steps=max_steps, steady_rtol=1e-14, steady_atol=1e-15,
+            sparse_backend="process" if sparse_workers > 1 else "serial",
+            sparse_strategy="p2p",
+            sparse_workers=int(sparse_workers),
+        )
+        dres = distributed_solve(
+            field, FlowConfig(), opts, n_ranks=int(n_ranks), seed=seed
+        )
+        bd = dres.comm_breakdown()
+        wall = max(
+            (float(rs.get("elapsed", 0.0)) for rs in dres.rank_stats),
+            default=0.0,
+        )
+        allreduces = max(
+            (int(rs.get("allreduces", 0)) for rs in dres.rank_stats),
+            default=0,
+        )
+        row = {
+            "n_ranks": int(dres.n_ranks),
+            "sparse_workers": int(sparse_workers),
+            "wall_seconds": wall,
+            "steps": int(dres.result.steps),
+            "allreduces": allreduces,
+            **bd,
+        }
+        if fabric is not None and allreduces > 0:
+            model = allreduces * fabric.allreduce_time(8.0, dres.n_ranks)
+            row["allreduce_model_seconds"] = model
+            row["allreduce_model_rel_error"] = _rel_error(
+                model, bd.get("allreduce_seconds", 0.0)
+            )
+        rows.append(row)
+    return rows
 
 
 def _residual_failures(doc: dict, tol: float) -> list[str]:
@@ -768,8 +892,7 @@ def rolling_fusion_gate_failures(
     r = _gate_row(doc, "fused")
     if r is None:
         return failures
-    key = _history_key(doc)
-    prior = [h for h in history if _history_key(h) == key]
+    prior = _comparable_history(doc, history)
     cell = f"{r['strategy']}@{r['workers']}"
     walls = [
         h["walls"][cell] for h in prior[-window:] if cell in h.get("walls", {})
@@ -850,6 +973,17 @@ def _history_key(record: dict) -> tuple:
     )
 
 
+def _comparable_history(doc: dict, history: list[dict]) -> list[dict]:
+    """Prior records the rolling gates may compare ``doc`` against:
+    same problem key *and* same stable host fingerprint.  Records written
+    before fingerprints existed (no ``host``) are never comparable."""
+    key = _history_key(doc)
+    return [
+        h for h in history
+        if _history_key(h) == key and same_host(h.get("host"), doc.get("host"))
+    ]
+
+
 def append_history(doc: dict, path: str) -> dict:
     """Append one compact record of ``doc`` to the JSONL history at ``path``.
 
@@ -915,14 +1049,15 @@ def rolling_gate_failures(
 
     The gated cell (``gate_strategy`` at its largest worker count) must not
     exceed ``max_regression`` times the median of the last ``window``
-    comparable runs (same dataset/scale/seed).  With no comparable history
-    the fixed serial-relative gate applies instead, so a fresh cache or a
-    configuration change degrades gracefully rather than passing blindly.
-    Residual equivalence is always checked.
+    comparable runs (same dataset/scale/seed **on the same host** — a
+    stable-fingerprint match, so a shared or restored history file from
+    another machine can't pollute the gate decision).  With no comparable
+    history the fixed serial-relative gate applies instead, so a fresh
+    cache, a configuration change, or a new runner degrades gracefully
+    rather than passing blindly.  Residual equivalence is always checked.
     """
     r = _gate_row(doc, gate_strategy)
-    key = _history_key(doc)
-    prior = [h for h in history if _history_key(h) == key]
+    prior = _comparable_history(doc, history)
     if r is None or not prior:
         return gate_failures(
             doc, tol=tol, max_slowdown=max_regression,
@@ -948,14 +1083,20 @@ def rolling_gate_failures(
     return failures
 
 
-def summarize_history(records: list[dict], window: int = 5) -> list[dict]:
+def summarize_history(
+    records: list[dict], window: int = 5, host: dict | None = None
+) -> list[dict]:
     """Per-cell trend rows of a JSONL history (``repro bench report``).
 
     Groups records by configuration key (kind/dataset/scale/seed/fill),
     then for every measured ``strategy@workers`` cell reports the rolling
     median of the last ``window`` runs, the latest wall, the latest-vs-
     median delta, and the same 1.25x verdict the rolling gate applies.
+    With ``host`` (a fingerprint dict), records from other machines are
+    excluded first — medians across different hardware are meaningless.
     """
+    if host is not None:
+        records = [r for r in records if same_host(r.get("host"), host)]
     groups: dict[tuple, list[dict]] = {}
     for rec in records:
         groups.setdefault(_history_key(rec), []).append(rec)

@@ -126,13 +126,6 @@ class EdgeLoopOptions:
     n_colors: int = 0
 
 
-#: coloring destroys spatial locality among concurrently processed edges
-#: (the paper's reason for rejecting it): edges of one color are scattered
-#: across the mesh, so both the streaming edge data and the vertex gathers
-#: lose cache/prefetcher friendliness
-_COLORING_STALL_FACTOR = 1.9
-
-
 def _edge_cycles(
     machine: MachineModel, work: EdgeKernelWork, opts: EdgeLoopOptions
 ) -> float:
@@ -151,7 +144,7 @@ def _edge_cycles(
     if opts.prefetch:
         lat *= machine.prefetch_stall_factor
     if opts.strategy == "coloring":
-        lat *= _COLORING_STALL_FACTOR
+        lat *= machine.coloring_stall_factor
     stall = loads * lat
     cycles = compute + stall
     if opts.strategy == "atomic":
@@ -193,6 +186,7 @@ def edge_loop_time(
         # coloring pays one barrier per color; other strategies one per sweep
         n_barriers = max(opts.n_colors, 1) if opts.strategy == "coloring" else 1
         time += n_barriers * machine.barrier_seconds(t)
+        time += machine.dispatch_seconds()
     return time
 
 
@@ -218,32 +212,29 @@ class TriSolveOptions:
     #: critical-path work, the paper's Table II metric).  Limited
     #: parallelism keeps threads from streaming independently, throttling
     #: achieved bandwidth: the utilization factor is
-    #: ``min(1, parallelism / (BALANCE_FACTOR * threads))``.
+    #: ``min(1, parallelism / (machine.recurrence_balance_factor * threads))``.
     available_parallelism: float = float("inf")
 
 
-#: threads need ~this many times their count in graph parallelism before a
-#: recurrence reaches its bandwidth bound (calibrated to Table II: ILU-1
-#: with 60x parallelism runs its solves ~2.6x slower per nonzero than
-#: ILU-0 with 248x at 20 threads)
-_BALANCE_FACTOR = 5.0
-
-
-def _utilization(opts: TriSolveOptions, t: int) -> float:
+def _utilization(machine: MachineModel, opts: TriSolveOptions, t: int) -> float:
     if not np.isfinite(opts.available_parallelism):
         return 1.0
-    return min(1.0, opts.available_parallelism / (_BALANCE_FACTOR * t))
+    return min(
+        1.0,
+        opts.available_parallelism / (machine.recurrence_balance_factor * t),
+    )
 
 
 def _block_rate(machine: MachineModel, n_threads: int, simd: bool) -> float:
     """Flop rate for streams of small (4x4) block ops.
 
-    Tiny blocks cannot fill AVX pipelines; manual vectorization of 4x4
-    multiplies buys ~17% (the paper: "performance benefits with
-    vectorization are not very significant" for these kernels).
+    Tiny blocks cannot fill AVX pipelines; ``machine.block_simd_boost``
+    (~17% by default) is all that manual vectorization of 4x4 multiplies
+    buys (the paper: "performance benefits with vectorization are not very
+    significant" for these kernels).
     """
     base = machine.flop_rate(n_threads, simd=False)
-    return base * (1.17 if simd else 1.0)
+    return base * (machine.block_simd_boost if simd else 1.0)
 
 
 def _tri_bytes_flops(
@@ -266,7 +257,7 @@ def trsv_time(
 ) -> float:
     """Modeled seconds of one forward+backward blocked triangular solve."""
     t = max(opts.n_threads, 1)
-    traffic = 1.0 if opts.access_ordered else 1.35
+    traffic = 1.0 if opts.access_ordered else machine.unordered_traffic_factor
     bytes_total, flops = _tri_bytes_flops(nnzb, n, b, traffic)
     rate = _block_rate(machine, t, opts.simd)
 
@@ -291,10 +282,10 @@ def trsv_time(
             lvl_flops = nb * 2.0 * b * b + w * 2.0 * b * b
             lvl = max(lvl_flops / rate, frac / machine.bandwidth(t)) * imb
             total += lvl + machine.barrier_seconds(t)
-        return total
+        return total + machine.dispatch_seconds()
 
     if opts.strategy == "p2p":
-        util = _utilization(opts, t)
+        util = _utilization(machine, opts, t)
         base = max(
             flops / (rate * util),
             bytes_total / (machine.bandwidth(t) * util),
@@ -302,7 +293,8 @@ def trsv_time(
         sync = opts.cross_deps * machine.p2p_seconds() / t
         # residual imbalance: the tail of the dependency graph still
         # serializes a little
-        return base * 1.06 + sync
+        return (base * machine.trsv_p2p_tail_factor + sync
+                + machine.dispatch_seconds())
 
     raise ValueError(f"unknown strategy {opts.strategy!r}")
 
@@ -326,19 +318,22 @@ def ilu_time(
     """
     t = max(opts.n_threads, 1)
     flops = block_ops * 2.0 * b**3 + n * (2.0 / 3.0) * b**3  # + inversions
-    traffic_factor = 2.0 if compressed_buffer else 2.0 + 0.15 * t
+    traffic_factor = (
+        2.0 if compressed_buffer
+        else 2.0 + machine.ilu_buffer_traffic_per_thread * t
+    )
     bytes_total = nnzb * (b * b * _F8 + 8.0) * traffic_factor
 
     # gather irregularity: ILU's access pattern is less regular than TRSV's
     # streaming, so its achievable rate/bandwidth efficiency is lower (the
     # paper: "achieved bandwidth efficiency is not as high as TRSV").
-    eff_bw = 0.80
-    _ILU_RATE_FACTOR = 0.55  # calibrated vs the paper's 9.4x at 10 cores
-    rate = _block_rate(machine, t, opts.simd) * _ILU_RATE_FACTOR
+    eff_bw = machine.ilu_bw_efficiency
+    rate = _block_rate(machine, t, opts.simd) * machine.ilu_rate_factor
 
     if opts.strategy == "sequential" or t == 1:
         return max(
-            flops / (_block_rate(machine, 1, opts.simd) * _ILU_RATE_FACTOR),
+            flops / (_block_rate(machine, 1, opts.simd)
+                     * machine.ilu_rate_factor),
             bytes_total / (machine.bandwidth(1) * eff_bw),
         )
 
@@ -358,18 +353,19 @@ def ilu_time(
                 share * bytes_total / (machine.bandwidth(t) * eff_bw),
             ) * imb
             total += lvl + machine.barrier_seconds(t)
-        return total
+        return total + machine.dispatch_seconds()
 
     if opts.strategy == "p2p":
-        util = _utilization(opts, t)
+        util = _utilization(machine, opts, t)
         # access-ordered factor storage + sparsified synchronization let the
         # threaded factorization stream better than the level-barrier walk
         base = max(
-            flops / (rate * 1.12 * util),
+            flops / (rate * machine.ilu_p2p_rate_factor * util),
             bytes_total / (machine.bandwidth(t) * eff_bw * util),
         )
         sync = opts.cross_deps * machine.p2p_seconds() / t
-        return base * 1.08 + sync
+        return (base * machine.ilu_p2p_tail_factor + sync
+                + machine.dispatch_seconds())
 
     raise ValueError(f"unknown strategy {opts.strategy!r}")
 

@@ -1,0 +1,505 @@
+"""Deterministic per-mesh auto-tuner over the calibrated cost model.
+
+``tune_solve`` prices one implicit solver step for every configuration the
+CLI exposes — edge strategy (locked / replicate / owner x partitioner),
+worker count, sparse strategy (levels / p2p) and fleet width, vertex
+ordering, kernel-graph fusion, forked ranks x sparse-workers splits, and
+the serve batch width — using the host-calibrated
+:class:`~repro.smp.machine.MachineModel` (falling back to the analytic
+paper model), and returns the cheapest as a frozen :class:`TunedConfig`.
+
+Two guarantees shape the search:
+
+* **never slower by construction** — the static default configuration is
+  always a candidate, and the tuner only deviates from it when a
+  challenger's predicted step is below ``margin`` (default 0.85) of the
+  default's prediction, so model noise inside the margin keeps the
+  default;
+* **deterministic** — no clocks, no randomness: the same mesh, machine
+  constants, and history records always produce the same choice (the
+  tuner-determinism test runs it twice and compares).
+
+When a ``.bench_history.jsonl`` record from *this* host (fingerprint
+match, same dataset/scale/seed) has measured exactly a candidate's
+(strategy, workers) cell, the measured serial-relative ratio replaces the
+modeled one — measurements outrank the model where both exist
+(``source`` reports ``model+history``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from ..smp.cost import (
+    EdgeLoopOptions,
+    edge_loop_time,
+    flux_kernel_work,
+    grad_kernel_work,
+    ilu_time,
+    jacobian_kernel_work,
+    trsv_time,
+)
+from ..smp.machine import MachineModel
+from ..smp.strategies import (
+    EdgeLoopExecutor,
+    make_edge_loop_options,
+    metis_thread_labels,
+    natural_thread_labels,
+    tri_solve_options_from_plan,
+)
+from .calibrate import Calibration, calibrated_fabric, same_host
+
+__all__ = ["TunedConfig", "tune_solve"]
+
+#: Newton-step shape priced by the tuner (typical implicit-solver counts:
+#: residual at the state + one linesearch probe; GMRES-ish inner solves;
+#: dot products + norms).  Fixed constants keep the tuner deterministic —
+#: only *ratios between candidates* matter for the choice.
+RESID_EVALS_PER_STEP = 2
+TRSV_PER_STEP = 12
+ALLREDUCE_PER_STEP = 25
+ALLREDUCE_BYTES = 64.0
+
+#: a challenger must beat margin * default to displace the default
+DEFAULT_MARGIN = 0.85
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """The tuner's decision plus the evidence behind it."""
+
+    edge_backend: str = "serial"
+    workers: int = 1
+    edge_strategy: str = "owner"
+    partitioner: str = "metis"
+    fuse: str = "off"
+    ordering: str = "rcm"
+    sparse_backend: str = "serial"
+    sparse_strategy: str = "p2p"
+    sparse_workers: int = 0
+    dist_ranks: int = 0
+    batch_width: int = 1
+    predicted_step_seconds: float = 0.0
+    default_step_seconds: float = 0.0
+    source: str = "model"
+    machine: str = ""
+    #: (label, predicted step seconds) for every configuration priced
+    candidates: tuple = dc_field(default_factory=tuple)
+
+    @property
+    def predicted_speedup(self) -> float:
+        if self.predicted_step_seconds <= 0.0:
+            return 1.0
+        return self.default_step_seconds / self.predicted_step_seconds
+
+    def is_default(self) -> bool:
+        return (
+            self.edge_backend == "serial"
+            and self.sparse_backend == "serial"
+            and self.dist_ranks == 0
+            and self.fuse == "off"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "edge_backend": self.edge_backend,
+            "workers": self.workers,
+            "edge_strategy": self.edge_strategy,
+            "partitioner": self.partitioner,
+            "fuse": self.fuse,
+            "ordering": self.ordering,
+            "sparse_backend": self.sparse_backend,
+            "sparse_strategy": self.sparse_strategy,
+            "sparse_workers": self.sparse_workers,
+            "dist_ranks": self.dist_ranks,
+            "batch_width": self.batch_width,
+            "predicted_step_seconds": self.predicted_step_seconds,
+            "default_step_seconds": self.default_step_seconds,
+            "predicted_speedup": self.predicted_speedup,
+            "source": self.source,
+            "machine": self.machine,
+            "candidates": [
+                {"label": label, "step_seconds": cost}
+                for label, cost in self.candidates
+            ],
+        }
+
+    def summary(self) -> str:
+        if self.is_default():
+            head = "tune: keeping static default"
+        else:
+            head = (
+                f"tune: edge={self.edge_backend}"
+                f"/{self.edge_strategy}@{self.workers}"
+                f" sparse={self.sparse_backend}/{self.sparse_strategy}"
+                f"@{self.sparse_workers or self.workers}"
+                f" fuse={self.fuse} ordering={self.ordering}"
+            )
+            if self.dist_ranks:
+                head += f" ranks={self.dist_ranks}"
+        return (
+            f"{head}  (predicted {self.predicted_step_seconds * 1e3:.3f} ms"
+            f"/step vs default {self.default_step_seconds * 1e3:.3f} ms, "
+            f"{self.predicted_speedup:.2f}x, {self.source}, "
+            f"machine: {self.machine})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-dimension pricing
+# ---------------------------------------------------------------------------
+def _residual_seconds(machine: MachineModel, n_edges: int,
+                      opts: EdgeLoopOptions) -> float:
+    """One residual evaluation: gradient sweep + flux sweep."""
+    return edge_loop_time(
+        machine, grad_kernel_work(n_edges), opts
+    ) + edge_loop_time(machine, flux_kernel_work(n_edges), opts)
+
+
+def _edge_candidates(
+    mesh, machine: MachineModel, ordering: str, max_workers: int
+) -> list[dict]:
+    """Price every (backend, strategy, partitioner, workers) edge config.
+
+    Structural inputs (per-thread edge counts with replication) come from
+    real :class:`EdgeLoopExecutor` partitions of *this* mesh, exactly as
+    the bench harness prices its cells.
+    """
+    rcm = ordering == "rcm"
+    n_edges = mesh.n_edges
+    seq = EdgeLoopOptions(
+        n_threads=1, strategy="sequential", layout="aos",
+        simd=True, prefetch=True, rcm=rcm,
+    )
+    out = [{
+        "label": "serial",
+        "backend": "serial", "workers": 1,
+        "strategy": "owner", "partitioner": "metis",
+        "resid_seconds": _residual_seconds(machine, n_edges, seq),
+        "jac_seconds": edge_loop_time(
+            machine, jacobian_kernel_work(n_edges), seq
+        ),
+    }]
+    w = 2
+    widths = []
+    while w <= max_workers:
+        widths.append(w)
+        w *= 2
+    for w in widths:
+        labels_by_part = {
+            "metis": metis_thread_labels(mesh.edges, mesh.n_vertices, w),
+            "natural": natural_thread_labels(mesh.n_vertices, w),
+        }
+        for cli_strategy, model_strategy, part in (
+            ("locked", "atomic", "metis"),
+            ("owner", "replicate", "metis"),
+            ("owner", "replicate", "natural"),
+        ):
+            ex = EdgeLoopExecutor(
+                mesh.edges, mesh.n_vertices, n_threads=w,
+                strategy=model_strategy,
+                labels=labels_by_part[part]
+                if model_strategy == "replicate" else None,
+            )
+            opts = make_edge_loop_options(ex, layout="aos", simd=True,
+                                          prefetch=True, rcm=rcm)
+            hist_label = (
+                "locked" if cli_strategy == "locked" else f"owner-{part}"
+            )
+            out.append({
+                "label": f"{hist_label}@{w}",
+                "hist_key": f"{hist_label}@{w}",
+                "backend": "process", "workers": w,
+                "strategy": cli_strategy, "partitioner": part,
+                "resid_seconds": _residual_seconds(machine, n_edges, opts),
+                "jac_seconds": edge_loop_time(
+                    machine, jacobian_kernel_work(n_edges), opts
+                ),
+            })
+    return out
+
+
+def _sparse_candidates(
+    mesh, machine: MachineModel, ilu_fill: int, max_workers: int, seed: int
+) -> list[dict]:
+    """Price serial vs (levels | p2p) fleet TRSV+ILU on the real plan."""
+    from ..sparse.bcsr import bcsr_pattern_from_edges
+    from ..sparse.ilu import build_ilu_plan
+
+    rowptr, cols = bcsr_pattern_from_edges(mesh.edges, mesh.n_vertices)
+    plan = build_ilu_plan(rowptr, cols, b=4, fill_level=ilu_fill)
+    nnzb, n, b = plan.cols.shape[0], plan.n, plan.b
+    block_ops = plan.factor_block_ops()
+
+    def price(strategy: str, t: int) -> tuple[float, float]:
+        opts = tri_solve_options_from_plan(plan, strategy, t)
+        return (
+            trsv_time(machine, nnzb, n, b, opts),
+            ilu_time(machine, block_ops, nnzb, n, b, opts),
+        )
+
+    trsv_s, ilu_s = price("sequential", 1)
+    out = [{
+        "label": "sparse-serial",
+        "backend": "serial", "strategy": "p2p", "workers": 0,
+        "trsv_seconds": trsv_s, "ilu_seconds": ilu_s,
+    }]
+    w = 2
+    while w <= max_workers:
+        for strategy in ("levels", "p2p"):
+            trsv_s, ilu_s = price(
+                "level" if strategy == "levels" else "p2p", w
+            )
+            out.append({
+                "label": f"sparse-{strategy}@{w}",
+                "backend": "process", "strategy": strategy, "workers": w,
+                "trsv_seconds": trsv_s, "ilu_seconds": ilu_s,
+            })
+        w *= 2
+    return out
+
+
+def _fuse_saving_seconds(machine: MachineModel, mesh, field,
+                         workers: int) -> float:
+    """Seconds one fused residual saves vs the staged pipeline."""
+    if field is not None:
+        from ..kgir import fusion_report
+
+        bytes_saved = float(fusion_report(field).bytes_saved)
+    else:
+        # structural estimate: fusing grad+flux re-reads drops one
+        # edge-stream pass (normal + indices) and the gradient gather
+        bytes_saved = float(mesh.n_edges) * 56.0
+    return bytes_saved / machine.bandwidth(max(workers, 1))
+
+
+def _dist_candidates(
+    mesh, machine: MachineModel, fabric, serial_resid: float,
+    serial_jac: float, sparse_serial: dict, max_ranks: int
+) -> list[dict]:
+    """Price ranks x sparse-workers splits of one step on the local fabric.
+
+    Edge work splits by owned vertices (natural chunks, the rank
+    decomposition's assignment); each rank pays halo exchange for its cut
+    edges and the step pays ``ALLREDUCE_PER_STEP`` reductions.
+    """
+    out = []
+    r = 2
+    while r <= max_ranks:
+        labels = natural_thread_labels(mesh.n_vertices, r)
+        l0 = labels[mesh.edges[:, 0]]
+        l1 = labels[mesh.edges[:, 1]]
+        cut_edges = int(np.count_nonzero(l0 != l1))
+        halo_bytes = np.full(
+            max(r - 1, 1), cut_edges * 32.0 / max(r - 1, 1)
+        )
+        halo = fabric.neighbor_exchange_time(halo_bytes, hops=1)
+        allreduce = ALLREDUCE_PER_STEP * fabric.allreduce_time(
+            ALLREDUCE_BYTES, r
+        )
+        # replication at the cut keeps ranks from perfect 1/r scaling
+        eff = (mesh.n_edges + cut_edges) / (mesh.n_edges * r)
+        workers_per_rank = max(machine.n_cores // r, 1)
+        sparse_w = 1 if workers_per_rank == 1 else workers_per_rank
+        step = (
+            RESID_EVALS_PER_STEP * (serial_resid * eff + halo)
+            + serial_jac * eff
+            + sparse_serial["ilu_seconds"] / r
+            + TRSV_PER_STEP * (
+                sparse_serial["trsv_seconds"] / r
+                + fabric.allreduce_time(ALLREDUCE_BYTES, r)
+            )
+            + allreduce
+            + RESID_EVALS_PER_STEP * machine.dispatch_seconds()
+        )
+        out.append({
+            "label": f"dist@{r}x{sparse_w}",
+            "ranks": r, "sparse_workers": sparse_w,
+            "step_seconds": step,
+        })
+        r *= 2
+    return out
+
+
+def _history_ratio(history, candidate_key: str, *, dataset, scale, seed,
+                   host) -> float | None:
+    """Median measured cell/serial ratio from matching host records."""
+    if not history:
+        return None
+    ratios = []
+    for rec in history:
+        if rec.get("kind", "flux") != "flux":
+            continue
+        if (rec.get("dataset"), rec.get("scale"), rec.get("seed")) != (
+            dataset, scale, seed
+        ):
+            continue
+        if not same_host(rec.get("host"), host):
+            continue
+        serial = rec.get("serial_wall_seconds")
+        cell = (rec.get("walls") or {}).get(candidate_key)
+        if serial and cell:
+            ratios.append(cell / serial)
+    return float(np.median(ratios)) if ratios else None
+
+
+# ---------------------------------------------------------------------------
+def tune_solve(
+    mesh,
+    machine: MachineModel,
+    cal: Calibration | None = None,
+    history: list[dict] | None = None,
+    *,
+    dataset: str | None = None,
+    scale: float | None = None,
+    seed: int = 7,
+    ilu_fill: int = 1,
+    ordering: str = "rcm",
+    field=None,
+    margin: float = DEFAULT_MARGIN,
+    max_workers: int | None = None,
+    allow_dist: bool = True,
+    serve_cases: int = 1,
+) -> TunedConfig:
+    """Choose the fastest configuration for one mesh on one machine."""
+    host = cal.host if cal is not None else None
+    # never price more workers than the machine *or the real host* has:
+    # an uncalibrated (paper-machine) model must not oversubscribe the
+    # box it actually runs on
+    import os
+
+    max_w = min(max_workers or machine.n_cores, machine.n_cores,
+                os.cpu_count() or 1)
+    source = "model"
+
+    # --- ordering: keep RCM unless the host shows no locality penalty ---
+    orderings = {"rcm", "natural"}
+    best_ordering = ordering if ordering in orderings else "rcm"
+    if machine.unordered_latency_factor > 1.02:
+        best_ordering = "rcm"
+
+    # --- edge dimension --------------------------------------------------
+    edge = _edge_candidates(mesh, machine, best_ordering, max_w)
+    default_edge = edge[0]
+    for c in edge[1:]:
+        ratio = _history_ratio(
+            history, c.get("hist_key", ""), dataset=dataset, scale=scale,
+            seed=seed, host=host,
+        )
+        if ratio is not None:
+            c["resid_seconds"] = default_edge["resid_seconds"] * ratio
+            c["jac_seconds"] = default_edge["jac_seconds"] * ratio
+            source = "model+history"
+    best_edge = min(edge[1:], key=lambda c: c["resid_seconds"],
+                    default=default_edge)
+    if best_edge["resid_seconds"] >= margin * default_edge["resid_seconds"]:
+        best_edge = default_edge
+
+    # --- sparse dimension ------------------------------------------------
+    sparse = _sparse_candidates(mesh, machine, ilu_fill, max_w, seed)
+    default_sparse = sparse[0]
+
+    def sparse_step(c: dict) -> float:
+        return c["ilu_seconds"] + TRSV_PER_STEP * c["trsv_seconds"]
+
+    best_sparse = min(sparse[1:], key=sparse_step, default=default_sparse)
+    if sparse_step(best_sparse) >= margin * sparse_step(default_sparse):
+        best_sparse = default_sparse
+
+    # --- fusion ----------------------------------------------------------
+    saving = _fuse_saving_seconds(
+        machine, mesh, field, best_edge["workers"]
+    )
+    fused_resid = max(best_edge["resid_seconds"] - saving, 0.0)
+    fuse = "on" if fused_resid < margin * best_edge["resid_seconds"] \
+        else "off"
+    resid_chosen = fused_resid if fuse == "on" \
+        else best_edge["resid_seconds"]
+
+    # --- assemble smp step costs ----------------------------------------
+    def step_cost(resid: float, jac: float, sp: dict) -> float:
+        return (
+            RESID_EVALS_PER_STEP * resid + jac + sparse_step(sp)
+        )
+
+    default_step = step_cost(
+        default_edge["resid_seconds"], default_edge["jac_seconds"],
+        default_sparse,
+    )
+    smp_step = step_cost(resid_chosen, best_edge["jac_seconds"],
+                         best_sparse)
+
+    candidates = [("default", default_step)]
+    candidates += [
+        (c["label"], step_cost(c["resid_seconds"], c["jac_seconds"],
+                               default_sparse))
+        for c in edge[1:]
+    ]
+    candidates += [
+        (c["label"],
+         step_cost(default_edge["resid_seconds"],
+                   default_edge["jac_seconds"], c))
+        for c in sparse[1:]
+    ]
+
+    # --- ranks x workers split on the calibrated local fabric -----------
+    chosen_ranks = 0
+    dist_step = float("inf")
+    if allow_dist and machine.n_cores >= 4:
+        fabric = calibrated_fabric(cal, machine)
+        dist = _dist_candidates(
+            mesh, machine, fabric, default_edge["resid_seconds"],
+            default_edge["jac_seconds"], default_sparse,
+            max_ranks=min(max_w, 8),
+        )
+        candidates += [(c["label"], c["step_seconds"]) for c in dist]
+        if dist:
+            best_dist = min(dist, key=lambda c: c["step_seconds"])
+            if best_dist["step_seconds"] < margin * min(smp_step,
+                                                        default_step):
+                chosen_ranks = best_dist["ranks"]
+                dist_step = best_dist["step_seconds"]
+
+    # --- serve batch width: amortize dispatch over stacked cases --------
+    dispatch = machine.dispatch_seconds() + machine.barrier_seconds(
+        max(best_edge["workers"], 2)
+    )
+    marginal = max(resid_chosen, 1e-12)
+    batch_width = int(np.clip(np.ceil(dispatch / (0.05 * marginal)),
+                              1, 8))
+    if serve_cases > 1:
+        batch_width = min(batch_width, serve_cases)
+
+    if chosen_ranks:
+        return TunedConfig(
+            edge_backend="serial", workers=1,
+            edge_strategy="owner", partitioner="metis",
+            fuse=fuse, ordering=best_ordering,
+            sparse_backend="serial", sparse_strategy="p2p",
+            sparse_workers=0, dist_ranks=chosen_ranks,
+            batch_width=batch_width,
+            predicted_step_seconds=dist_step,
+            default_step_seconds=default_step,
+            source=source, machine=machine.name,
+            candidates=tuple(candidates),
+        )
+    return TunedConfig(
+        edge_backend=best_edge["backend"],
+        workers=best_edge["workers"],
+        edge_strategy=best_edge["strategy"],
+        partitioner=best_edge["partitioner"],
+        fuse=fuse,
+        ordering=best_ordering,
+        sparse_backend=best_sparse["backend"],
+        sparse_strategy=best_sparse["strategy"],
+        sparse_workers=best_sparse["workers"],
+        dist_ranks=0,
+        batch_width=batch_width,
+        predicted_step_seconds=smp_step,
+        default_step_seconds=default_step,
+        source=source,
+        machine=machine.name,
+        candidates=tuple(candidates),
+    )

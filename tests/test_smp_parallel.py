@@ -305,7 +305,10 @@ class TestBenchAndGate:
             assert set(r) == {
                 "strategy", "workers", "wall_seconds", "speedup",
                 "redundant_edge_fraction", "max_abs_dev", "model_seconds",
+                "model_rel_error",
             }
+            if r["model_seconds"] is not None:
+                assert r["model_rel_error"] >= 0.0
             assert r["wall_seconds"] > 0
             assert r["speedup"] == pytest.approx(
                 doc["serial"]["wall_seconds"] / r["wall_seconds"]
